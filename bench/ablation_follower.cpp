@@ -1,0 +1,99 @@
+// Ablation (§III-A.2): follower relevance via car-following models.
+//
+// The scenario plants a tailgating follower behind the ego. When the edge
+// server warns only the ego, the ego's sudden braking causes a rear-end
+// collision (the follower perceives the leader's speed one reaction time
+// late). Follower relevance (R_follower = alpha * R_leader for followers
+// violating Pipes'/Gipps criteria) warns the follower too. We sweep alpha
+// and the violation criterion.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace erpd;
+
+namespace {
+
+const std::vector<std::uint64_t> kSeeds = {1, 2, 3};
+
+struct Row {
+  double ego_safe{0.0};
+  double follower_safe{0.0};
+  double follower_min_gap{0.0};
+  double disseminations{0.0};
+};
+
+Row run_config(bool follower_relevance, double alpha,
+               core::FollowerCriterion crit) {
+  Row row;
+  for (std::uint64_t seed : kSeeds) {
+    sim::ScenarioConfig cfg;
+    cfg.speed_kmh = 40.0;
+    cfg.total_vehicles = 18;
+    cfg.pedestrians = 4;
+    cfg.connected_fraction = 0.4;
+    // Late conflict + a true tailgater: the warned ego has to brake hard,
+    // and an unwarned follower at this gap cannot absorb it.
+    cfg.time_to_conflict = 5.5;
+    cfg.follower_gap = 6.5;
+    cfg.seed = seed;
+    bench::coarse_lidar(cfg);
+    sim::Scenario sc = sim::make_unprotected_left_turn(cfg);
+
+    edge::RunnerConfig rc =
+        edge::make_runner_config(edge::Method::kOurs, bench::bench_wireless());
+    rc.duration = 18.0;
+    rc.edge.follower_relevance = follower_relevance;
+    rc.edge.follower.alpha = alpha;
+    rc.edge.follower.criterion = crit;
+    edge::SystemRunner runner(rc);
+    const edge::MethodMetrics m = runner.run(sc);
+    row.ego_safe += m.ego_safe ? 1.0 : 0.0;
+    row.follower_safe += m.follower_safe ? 1.0 : 0.0;
+    row.follower_min_gap +=
+        std::isfinite(m.follower_min_gap) ? m.follower_min_gap : 0.0;
+    row.disseminations += m.disseminations;
+  }
+  const double n = static_cast<double>(kSeeds.size());
+  row.ego_safe *= 100.0 / n;
+  row.follower_safe *= 100.0 / n;
+  row.follower_min_gap /= n;
+  row.disseminations /= n;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation - follower relevance (paper SSIII-A.2)",
+      "left turn @40 km/h, 6.5 m tailgater, late warning; mean of 3 seeds");
+
+  std::printf("%-26s %10s %14s %12s %8s\n", "configuration", "ego-safe%",
+              "follower-safe%", "min-gap(m)", "#diss");
+
+  const Row off = run_config(false, 0.8, core::FollowerCriterion::kViolatesAny);
+  std::printf("%-26s %10.0f %14.0f %12.2f %8.0f\n", "follower relevance OFF",
+              off.ego_safe, off.follower_safe, off.follower_min_gap,
+              off.disseminations);
+
+  for (double alpha : {0.2, 0.5, 0.8, 1.0}) {
+    const Row r = run_config(true, alpha, core::FollowerCriterion::kViolatesAny);
+    std::printf("alpha=%.1f (violates-any)%*s %10.0f %14.0f %12.2f %8.0f\n",
+                alpha, 3, "", r.ego_safe, r.follower_safe, r.follower_min_gap,
+                r.disseminations);
+  }
+  const Row both =
+      run_config(true, 0.8, core::FollowerCriterion::kViolatesBoth);
+  std::printf("%-26s %10.0f %14.0f %12.2f %8.0f\n", "alpha=0.8 (violates-both)",
+              both.ego_safe, both.follower_safe, both.follower_min_gap,
+              both.disseminations);
+
+  std::printf(
+      "\nExpected shape: an unwarned tailgater eats its safety margin when\n"
+      "the warned ego brakes (small min-gap, rear-end at higher speeds /\n"
+      "shorter gaps); with follower relevance the follower is warned too and\n"
+      "keeps a comfortable gap, at the cost of a few extra disseminations.\n");
+  return 0;
+}

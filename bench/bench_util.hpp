@@ -1,0 +1,93 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches: scenario execution
+// over seeds, aggregation, and paper-style table printing.
+
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "edge/system_runner.hpp"
+#include "sim/scenario.hpp"
+
+namespace erpd::bench {
+
+using ScenarioFactory =
+    std::function<sim::Scenario(const sim::ScenarioConfig&)>;
+
+/// Scaled-sensor evaluation setup. Relative to the paper's testbed
+/// (64-channel, ~1M pts/frame, EMP-measured cellular caps) everything is
+/// scaled by the same factor, preserving the shape of every bandwidth and
+/// safety result; see DESIGN.md "Substitutions".
+inline net::WirelessConfig bench_wireless() {
+  net::WirelessConfig w;
+  w.uplink_mbps = 16.0;
+  w.downlink_mbps = 32.0;
+  return w;
+}
+
+/// Safety sweeps (Figs. 10/11) use tighter caps so that EMP's Round-Robin
+/// has to spread the traffic map over multiple rounds — the dissemination
+/// delay the paper identifies as EMP's failure mode. (With our scaled-down
+/// sensor the default caps would let RR ship the whole map every frame.)
+inline net::WirelessConfig safety_wireless() {
+  net::WirelessConfig w;
+  w.uplink_mbps = 8.0;
+  w.downlink_mbps = 2.5;
+  return w;
+}
+
+/// Coarse sensor for safety sweeps (object-level visibility only).
+inline void coarse_lidar(sim::ScenarioConfig& cfg) {
+  cfg.world.lidar.channels = 16;
+  cfg.world.lidar.azimuth_step_deg = 1.0;
+}
+
+/// Dense sensor for bandwidth/latency sweeps.
+inline void dense_lidar(sim::ScenarioConfig& cfg) {
+  cfg.world.lidar.channels = 32;
+  cfg.world.lidar.azimuth_step_deg = 0.5;
+}
+
+inline double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+/// Run one (factory, method) combination for each seed and return the
+/// per-seed metrics.
+inline std::vector<edge::MethodMetrics> run_seeds(
+    const ScenarioFactory& factory, sim::ScenarioConfig cfg,
+    edge::Method method, const std::vector<std::uint64_t>& seeds,
+    double duration = 18.0,
+    const net::WirelessConfig& wireless = bench_wireless()) {
+  std::vector<edge::MethodMetrics> out;
+  for (std::uint64_t seed : seeds) {
+    cfg.seed = seed;
+    sim::Scenario sc = factory(cfg);
+    edge::RunnerConfig rc = edge::make_runner_config(method, wireless);
+    rc.duration = duration;
+    edge::SystemRunner runner(rc);
+    out.push_back(runner.run(sc));
+  }
+  return out;
+}
+
+inline double avg(const std::vector<edge::MethodMetrics>& ms,
+                  double (*get)(const edge::MethodMetrics&)) {
+  std::vector<double> v;
+  v.reserve(ms.size());
+  for (const auto& m : ms) v.push_back(get(m));
+  return mean_of(v);
+}
+
+inline void print_header(const char* title, const char* note = nullptr) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  if (note != nullptr) std::printf("%s\n", note);
+  std::printf("================================================================\n");
+}
+
+}  // namespace erpd::bench

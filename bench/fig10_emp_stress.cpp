@@ -1,0 +1,65 @@
+// Supplement to Fig. 10: EMP's Round-Robin failure mode under downlink
+// pressure.
+//
+// In the paper's testbed the traffic map is far larger than one downlink
+// frame, so EMP needs several rounds to reach every (object, vehicle) pair
+// and the *relevant* pair can arrive seconds late — too late at speed. Our
+// scaled scene fits EMP's map into a couple of frames at the default caps
+// (the scripted conflicts give ~7 s of warning, forgiving a 1 s delay), so
+// this bench recreates the paper's map/budget ratio by tightening the
+// downlink until a full RR round takes multiple seconds. Ours keeps
+// prioritizing by relevance/size and still delivers the critical warning
+// first.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace erpd;
+
+namespace {
+
+const std::vector<std::uint64_t> kSeeds = {1, 2, 3};
+
+double conflict_rate(const std::vector<edge::MethodMetrics>& ms) {
+  double acc = 0.0;
+  for (const auto& m : ms) acc += m.conflict_safe_rate;
+  return 100.0 * acc / static_cast<double>(ms.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 10 supplement - EMP under downlink pressure",
+      "downlink sweep at 40 km/h; conflict-pair safe passage rate (%)");
+
+  std::printf("%14s | %8s %8s\n", "downlink Mbps", "EMP", "Ours");
+  for (double down : {0.2, 0.4, 0.8, 2.5}) {
+    net::WirelessConfig w;
+    w.uplink_mbps = 8.0;
+    w.downlink_mbps = down;
+
+    sim::ScenarioConfig cfg;
+    cfg.speed_kmh = 40.0;
+    cfg.total_vehicles = 20;
+    cfg.pedestrians = 4;
+    cfg.connected_fraction = 0.4;
+    bench::coarse_lidar(cfg);
+
+    const auto e = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                                    edge::Method::kEmp, kSeeds, 15.0, w);
+    const auto o = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                                    edge::Method::kOurs, kSeeds, 15.0, w);
+    std::printf("%14.1f | %8.1f %8.1f\n", down, conflict_rate(e),
+                conflict_rate(o));
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 10's EMP explanation): as the downlink\n"
+      "shrinks relative to the traffic map, EMP's Round-Robin delays the\n"
+      "relevant dissemination past the driver's reaction window and its\n"
+      "safe-passage rate collapses, while Ours degrades gracefully because\n"
+      "the greedy always ships the highest relevance/size items first.\n");
+  return 0;
+}

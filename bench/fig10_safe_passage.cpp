@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 10: safe passage rate
+//   (a) vs driving speed (20-40 km/h), both scenarios;
+//   (b) vs percentage of connected vehicles (20-50%).
+// Methods: Single (no sharing), EMP (Voronoi upload + Round-Robin,
+// bandwidth-capped), Ours (relevance-aware), Unlimited.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace erpd;
+using bench::ScenarioFactory;
+
+namespace {
+
+const std::vector<std::uint64_t> kSeeds = {1, 2, 3};
+
+double safe_rate(const std::vector<edge::MethodMetrics>& ms) {
+  // Paper Fig. 10 metric: rate over the scripted conflict participants
+  // (Single is 0% by construction — the occluded conflict always crashes).
+  double acc = 0.0;
+  for (const auto& m : ms) acc += m.conflict_safe_rate;
+  return 100.0 * acc / static_cast<double>(ms.size());
+}
+
+double fleet_rate(const std::vector<edge::MethodMetrics>& ms) {
+  double acc = 0.0;
+  for (const auto& m : ms) acc += m.safe_passage_rate;
+  return 100.0 * acc / static_cast<double>(ms.size());
+}
+
+void speed_sweep(const char* name, const ScenarioFactory& factory) {
+  std::printf("\n--- %s: safe passage rate (%%) vs speed ---\n", name);
+  std::printf("%8s | %8s %8s %8s %10s | %s\n", "km/h", "Single", "EMP",
+              "Ours", "Unlimited", "(fleet-wide%% S/E/O/U)");
+  for (double kmh : {20.0, 25.0, 30.0, 35.0, 40.0}) {
+    sim::ScenarioConfig cfg;
+    cfg.speed_kmh = kmh;
+    cfg.total_vehicles = 20;
+    cfg.pedestrians = 4;
+    cfg.connected_fraction = 0.3;
+    bench::coarse_lidar(cfg);
+    const auto w = bench::safety_wireless();
+    const auto s = bench::run_seeds(factory, cfg, edge::Method::kSingle,
+                                    kSeeds, 15.0, w);
+    const auto e =
+        bench::run_seeds(factory, cfg, edge::Method::kEmp, kSeeds, 15.0, w);
+    const auto o =
+        bench::run_seeds(factory, cfg, edge::Method::kOurs, kSeeds, 15.0, w);
+    const auto u = bench::run_seeds(factory, cfg, edge::Method::kUnlimited,
+                                    kSeeds, 15.0, w);
+    std::printf("%8.0f | %8.1f %8.1f %8.1f %10.1f | %.0f/%.0f/%.0f/%.0f\n",
+                kmh, safe_rate(s), safe_rate(e), safe_rate(o), safe_rate(u),
+                fleet_rate(s), fleet_rate(e), fleet_rate(o), fleet_rate(u));
+  }
+}
+
+void connectivity_sweep(const char* name, const ScenarioFactory& factory) {
+  std::printf("\n--- %s: safe passage rate (%%) vs %% connected ---\n", name);
+  std::printf("%8s | %8s %8s %10s\n", "conn%", "EMP", "Ours", "Unlimited");
+  for (double conn : {0.2, 0.3, 0.4, 0.5}) {
+    sim::ScenarioConfig cfg;
+    cfg.speed_kmh = 30.0;
+    cfg.total_vehicles = 20;
+    cfg.pedestrians = 4;
+    cfg.connected_fraction = conn;
+    bench::coarse_lidar(cfg);
+    const auto w = bench::safety_wireless();
+    const auto e =
+        bench::run_seeds(factory, cfg, edge::Method::kEmp, kSeeds, 15.0, w);
+    const auto o =
+        bench::run_seeds(factory, cfg, edge::Method::kOurs, kSeeds, 15.0, w);
+    const auto u = bench::run_seeds(factory, cfg, edge::Method::kUnlimited,
+                                    kSeeds, 15.0, w);
+    std::printf("%8.0f | %8.1f %8.1f %10.1f\n", conn * 100.0, safe_rate(e),
+                safe_rate(o), safe_rate(u));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 10 - safe passage rate",
+      "mean over 3 seeds, 20 vehicles; Single has no sharing at all");
+
+  speed_sweep("unprotected left turn", sim::make_unprotected_left_turn);
+  speed_sweep("red-light violation", sim::make_red_light_violation);
+
+  connectivity_sweep("unprotected left turn", sim::make_unprotected_left_turn);
+  connectivity_sweep("red-light violation", sim::make_red_light_violation);
+
+  std::printf(
+      "\nExpected shape (paper Fig. 10): Single is 0%% everywhere (the\n"
+      "scripted occluded conflict always ends in a crash); Ours is at or\n"
+      "near 100%% below 40 km/h and stays highest at 40; EMP degrades with\n"
+      "speed (round-robin delay) and with more connected vehicles\n"
+      "(uplink contention loses objects).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces paper Fig. 11: minimum distance between the conflicting
+// vehicles across driving speeds, per scenario and method. Single's minimum
+// distance is 0 (they collide); Ours keeps a safe margin that shrinks as
+// speed grows.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace erpd;
+
+namespace {
+
+const std::vector<std::uint64_t> kSeeds = {1, 2, 3};
+
+double avg_key_distance(const std::vector<edge::MethodMetrics>& ms) {
+  double acc = 0.0;
+  for (const auto& m : ms) {
+    acc += std::isfinite(m.min_key_distance) ? m.min_key_distance : 0.0;
+  }
+  return acc / static_cast<double>(ms.size());
+}
+
+void sweep(const char* name, const bench::ScenarioFactory& factory) {
+  std::printf("\n--- %s: min ego-threat distance (m) vs speed ---\n", name);
+  std::printf("%8s | %8s %8s %8s %10s\n", "km/h", "Single", "EMP", "Ours",
+              "Unlimited");
+  for (double kmh : {20.0, 30.0, 40.0}) {
+    sim::ScenarioConfig cfg;
+    cfg.speed_kmh = kmh;
+    cfg.total_vehicles = 20;
+    cfg.pedestrians = 4;
+    cfg.connected_fraction = 0.3;
+    bench::coarse_lidar(cfg);
+    const auto w = bench::safety_wireless();
+    const auto s = bench::run_seeds(factory, cfg, edge::Method::kSingle,
+                                    kSeeds, 15.0, w);
+    const auto e =
+        bench::run_seeds(factory, cfg, edge::Method::kEmp, kSeeds, 15.0, w);
+    const auto o =
+        bench::run_seeds(factory, cfg, edge::Method::kOurs, kSeeds, 15.0, w);
+    const auto u = bench::run_seeds(factory, cfg, edge::Method::kUnlimited,
+                                    kSeeds, 15.0, w);
+    std::printf("%8.0f | %8.2f %8.2f %8.2f %10.2f\n", kmh,
+                avg_key_distance(s), avg_key_distance(e), avg_key_distance(o),
+                avg_key_distance(u));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 11 - minimum distance between the vehicles",
+                      "mean over 3 seeds; 0 means they collided");
+  sweep("unprotected left turn", sim::make_unprotected_left_turn);
+  sweep("red-light violation", sim::make_red_light_violation);
+  std::printf(
+      "\nExpected shape (paper Fig. 11): Single is 0 m always; Ours keeps\n"
+      "the largest margin, which shrinks with speed but stays several\n"
+      "meters even at 40 km/h; EMP sits between Single and Ours.\n");
+  return 0;
+}

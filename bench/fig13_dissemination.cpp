@@ -1,0 +1,55 @@
+// Reproduces paper Fig. 13: downlink (dissemination) bandwidth vs %
+// connected vehicles. Ours sends only relevant objects to the vehicles that
+// need them; EMP round-robins the whole map within the cap; Unlimited
+// broadcasts everything to everyone and grows superlinearly.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace erpd;
+
+namespace {
+const std::vector<std::uint64_t> kSeeds = {1, 2};
+}
+
+int main() {
+  bench::print_header(
+      "Fig. 13 - dissemination bandwidth (Mbit/s)",
+      "downlink cap 32 Mbit/s (scaled); mean over 2 seeds, 10 s");
+
+  std::printf("%8s | %8s %8s %10s | %16s\n", "conn%", "Ours", "EMP",
+              "Unlimited", "Ours disseminations");
+  for (double conn : {0.2, 0.3, 0.4, 0.5}) {
+    sim::ScenarioConfig cfg;
+    cfg.speed_kmh = 30.0;
+    cfg.total_vehicles = 20;
+    cfg.pedestrians = 6;
+    cfg.connected_fraction = conn;
+    bench::dense_lidar(cfg);
+
+    const auto o = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                                    edge::Method::kOurs, kSeeds, 10.0);
+    const auto e = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                                    edge::Method::kEmp, kSeeds, 10.0);
+    const auto u = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                                    edge::Method::kUnlimited, kSeeds, 10.0);
+
+    const auto down = [](const edge::MethodMetrics& m) {
+      return m.downlink_mbps;
+    };
+    const auto n = [](const edge::MethodMetrics& m) {
+      return static_cast<double>(m.disseminations);
+    };
+    std::printf("%8.0f | %8.2f %8.2f %10.2f | %16.0f\n", conn * 100.0,
+                bench::avg(o, down), bench::avg(e, down), bench::avg(u, down),
+                bench::avg(o, n));
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 13): Ours grows slowly with the fleet\n"
+      "(only relevant objects are sent); EMP is pinned at the downlink cap;\n"
+      "Unlimited grows superlinearly (objects x receivers) far beyond any\n"
+      "wireless budget.\n");
+  return 0;
+}

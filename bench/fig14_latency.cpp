@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 14:
+//   (a) end-to-end latency (sensor frame -> dissemination delivered) vs %
+//       connected vehicles — must fit the 100 ms inter-frame budget;
+//   (b) per-module runtime breakdown at 20% connected: Moving Object
+//       Extraction dominates, the dissemination decision takes ~1 ms.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace erpd;
+
+namespace {
+const std::vector<std::uint64_t> kSeeds = {1, 2};
+}
+
+int main() {
+  bench::print_header(
+      "Fig. 14 - end-to-end latency",
+      "dense sensor; wall-clock runtimes on this host (see DESIGN.md for\n"
+      "the Jetson-TX2/RTX-3080 substitution note); mean over 2 seeds, 8 s");
+
+  std::printf("(a) end-to-end latency vs %% connected\n");
+  std::printf("%8s | %10s\n", "conn%", "e2e (ms)");
+  edge::MethodMetrics at20{};
+  for (double conn : {0.2, 0.3, 0.4, 0.5}) {
+    sim::ScenarioConfig cfg;
+    cfg.speed_kmh = 30.0;
+    cfg.total_vehicles = 20;
+    cfg.pedestrians = 6;
+    cfg.connected_fraction = conn;
+    bench::dense_lidar(cfg);
+    const auto o = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                                    edge::Method::kOurs, kSeeds, 8.0);
+    const auto e2e = [](const edge::MethodMetrics& m) { return m.e2e_latency; };
+    std::printf("%8.0f | %10.2f\n", conn * 100.0, 1e3 * bench::avg(o, e2e));
+    if (conn == 0.2) at20 = o.front();
+  }
+
+  std::printf("\n(b) per-module runtime at 20%% connected (ms)\n");
+  std::printf("%-28s %10.3f\n", "Moving Object Extraction",
+              1e3 * at20.extraction_seconds);
+  std::printf("%-28s %10.3f\n", "Upload (wireless transfer)",
+              1e3 * at20.upload_seconds);
+  std::printf("%-28s %10.3f\n", "Traffic-map merge/detect",
+              1e3 * at20.merge_seconds);
+  std::printf("%-28s %10.3f\n", "Track+predict+relevance",
+              1e3 * at20.track_predict_seconds);
+  std::printf("%-28s %10.3f\n", "Dissemination decision",
+              1e3 * at20.dissemination_decision_seconds);
+  std::printf("%-28s %10.3f\n", "Downlink transfer",
+              1e3 * at20.downlink_transfer_seconds);
+  std::printf("%-28s %10.3f\n", "END-TO-END", 1e3 * at20.e2e_latency);
+
+  std::printf(
+      "\nExpected shape (paper Fig. 14): latency grows with the number of\n"
+      "connected vehicles but stays within the 100 ms frame interval;\n"
+      "extraction is the dominant term, map construction a few ms, and the\n"
+      "greedy dissemination decision ~1 ms.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Pedestrian crowd clustering demo (paper Fig. 4(a)/(b)): generates a crowd
+// at the intersection corners, clusters it with the paper's location+
+// orientation algorithm and with plain DBSCAN, and renders both as ASCII
+// maps so the difference is visible: DBSCAN lumps opposite walking
+// directions, the crowd clusterer separates them.
+//
+// Build & run:  ./build/examples/crowd_clustering [count]
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "track/crowd_cluster.hpp"
+
+namespace {
+
+using namespace erpd;
+
+void render(const char* title, const std::vector<track::CrowdEntity>& ents,
+            const track::CrowdClusterResult& res) {
+  // 41x21 character map of the +-16 m intersection area.
+  const int w = 41;
+  const int h = 21;
+  std::vector<std::string> grid(h, std::string(w, '.'));
+  for (std::size_t i = 0; i < ents.size(); ++i) {
+    const auto& e = ents[i];
+    const int cx = static_cast<int>((e.position.x + 16.0) / 32.0 * (w - 1));
+    const int cy = static_cast<int>((16.0 - e.position.y) / 32.0 * (h - 1));
+    if (cx < 0 || cx >= w || cy < 0 || cy >= h) continue;
+    const char label =
+        static_cast<char>('A' + (res.labels[i] % 26));
+    grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = label;
+  }
+  std::printf("\n%s  (%zu clusters; letters = cluster id)\n", title,
+              res.clusters.size());
+  for (const std::string& row : grid) std::printf("  %s\n", row.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int count = argc > 1 ? std::atoi(argv[1]) : 28;
+  const sim::RoadNetwork net{sim::RoadConfig{}};
+  std::mt19937_64 rng(7);
+
+  std::vector<track::CrowdEntity> ents;
+  for (const auto& p : sim::generate_crosswalk_crowd(net, count, rng)) {
+    ents.push_back({p.position, p.heading, p.speed});
+  }
+
+  const auto ours = track::cluster_crowd(ents);
+  const auto dbscan = track::cluster_crowd_dbscan(ents);
+
+  render("paper's crowd clusterer (location + orientation)", ents, ours);
+  render("DBSCAN baseline (location only)", ents, dbscan);
+
+  const double t = 5.0;
+  std::printf("\nfinal-location deviation after %.0f s of walking:\n", t);
+  std::printf("  ours:   %.2f m  (%zu representatives tracked)\n",
+              track::final_location_deviation(ents, ours, t),
+              ours.clusters.size());
+  std::printf("  dbscan: %.2f m  (%zu representatives tracked)\n",
+              track::final_location_deviation(ents, dbscan, t),
+              dbscan.clusters.size());
+  std::printf("\nRule 3: the edge server predicts only one trajectory per\n"
+              "cluster representative instead of %d individual pedestrians.\n",
+              count);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// The headline experiment (paper Fig. 8(b) / Fig. 9(a)): an unprotected left
+// turn where a waiting truck hides the oncoming car. Runs the identical
+// scenario under all four methods and prints what happened to the ego.
+//
+// Build & run:  ./build/examples/intersection_safety [speed_kmh]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "edge/system_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace erpd;
+  const double kmh = argc > 1 ? std::atof(argv[1]) : 30.0;
+
+  std::printf("Unprotected left turn at %.0f km/h, 20 vehicles, 30%% "
+              "connected\n\n", kmh);
+  std::printf("%-10s | %-8s %-14s %-12s %-12s %-10s\n", "method", "ego",
+              "min dist (m)", "up (Mbit/s)", "down (Mbit/s)", "#diss");
+
+  for (edge::Method method :
+       {edge::Method::kSingle, edge::Method::kEmp, edge::Method::kOurs,
+        edge::Method::kUnlimited}) {
+    sim::ScenarioConfig cfg;
+    cfg.speed_kmh = kmh;
+    cfg.total_vehicles = 20;
+    cfg.pedestrians = 4;
+    cfg.connected_fraction = 0.3;
+    cfg.seed = 1;
+    cfg.world.lidar.channels = 16;
+    cfg.world.lidar.azimuth_step_deg = 1.0;
+    sim::Scenario sc = sim::make_unprotected_left_turn(cfg);
+
+    net::WirelessConfig wireless;
+    wireless.uplink_mbps = 16.0;
+    wireless.downlink_mbps = 32.0;
+    edge::RunnerConfig rc = edge::make_runner_config(method, wireless);
+    rc.duration = 18.0;
+    edge::SystemRunner runner(rc);
+    const edge::MethodMetrics m = runner.run(sc);
+
+    std::printf("%-10s | %-8s %-14.2f %-12.2f %-12.2f %-10d\n",
+                edge::to_string(method), m.ego_safe ? "SAFE" : "CRASHED",
+                m.min_key_distance, m.uplink_mbps, m.downlink_mbps,
+                m.disseminations);
+  }
+
+  std::printf(
+      "\nWithout sharing (Single) the occluded conflict always ends in a\n"
+      "collision; the relevance-aware system (Ours) warns the turning car\n"
+      "about the hidden oncoming vehicle in time, using a fraction of the\n"
+      "bandwidth of the baselines.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// The pedestrian demo (paper Fig. 8(a)): a pedestrian steps out from behind
+// a parked truck into the path of vehicle B. Another connected vehicle (E)
+// captures the pedestrian and uploads it; the edge server detects the
+// conflict and disseminates the pedestrian's perception data to B. This
+// example runs the pipeline manually to print the full event timeline.
+//
+// Build & run:  ./build/examples/pedestrian_crossing
+
+#include <cstdio>
+#include <map>
+
+#include "edge/edge_server.hpp"
+#include "edge/vehicle_client.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace erpd;
+
+  sim::ScenarioConfig cfg;
+  cfg.speed_kmh = 30.0;
+  cfg.total_vehicles = 12;
+  cfg.pedestrians = 3;
+  cfg.connected_fraction = 0.4;
+  cfg.seed = 5;
+  cfg.world.lidar.channels = 32;      // pedestrians are small targets
+  cfg.world.lidar.azimuth_step_deg = 0.5;
+  sim::Scenario sc = sim::make_occluded_pedestrian(cfg);
+  sim::World& world = sc.world;
+
+  std::printf("Scenario: occluded pedestrian, ego id=%d, pedestrian id=%d\n\n",
+              sc.ego, sc.threat);
+
+  edge::EdgeConfig ecfg;
+  edge::EdgeServer server(world.network(), ecfg);
+  std::map<sim::AgentId, edge::VehicleClient> clients;
+  for (const sim::Vehicle& v : world.vehicles()) {
+    if (v.params().connected && !v.params().parked) {
+      clients.emplace(v.id(), edge::VehicleClient(v.id(), {}));
+    }
+  }
+
+  bool seen = false;
+  bool tracked = false;
+  bool warned = false;
+  bool braked = false;
+  for (int frame = 0; frame < 160; ++frame) {
+    // Vehicle-side pipeline for every connected vehicle.
+    std::vector<net::UploadFrame> uploads;
+    for (auto& [vid, client] : clients) {
+      const sim::Vehicle* v = world.find_vehicle(vid);
+      if (v == nullptr || v->finished(world.network()) || v->crashed()) continue;
+      uploads.push_back(client.make_upload(world, nullptr, 0));
+    }
+    if (!seen) {
+      for (const net::UploadFrame& f : uploads) {
+        for (const net::ObjectUpload& o : f.objects) {
+          if (o.truth_id == sc.threat) {
+            std::printf("t=%5.1f s  pedestrian captured by vehicle %d's "
+                        "LiDAR and uploaded\n", world.time(), f.vehicle);
+            seen = true;
+          }
+        }
+      }
+    }
+
+    // Edge-server pipeline.
+    const auto truth = world.snapshot();
+    const edge::FrameOutput out =
+        server.process_frame(uploads, world.time(), &truth);
+    if (!tracked) {
+      for (const auto& tr : server.tracker().tracks()) {
+        if (tr.truth_id == sc.threat && tr.hits >= 2) {
+          std::printf("t=%5.1f s  pedestrian confirmed as track #%d\n",
+                      world.time(), tr.id);
+          tracked = true;
+        }
+      }
+    }
+    for (const net::Dissemination& d : out.selected) {
+      if (d.about != sim::kInvalidAgent) world.notify_vehicle(d.to, d.about);
+      if (!warned && d.to == sc.ego && d.about == sc.threat) {
+        std::printf("t=%5.1f s  edge server disseminates pedestrian data to "
+                    "ego (R=%.3f, %zu bytes)\n", world.time(), d.relevance,
+                    d.bytes);
+        warned = true;
+      }
+    }
+
+    world.step();
+    const sim::Vehicle* ego = world.find_vehicle(sc.ego);
+    if (!braked && ego->accel() < -1.5) {
+      std::printf("t=%5.1f s  ego driver reacts and brakes (a=%.1f m/s^2)\n",
+                  world.time(), ego->accel());
+      braked = true;
+    }
+  }
+
+  const bool safe = !world.agent_crashed(sc.ego);
+  std::printf("\noutcome: %s (ego-pedestrian min distance %.2f m)\n",
+              safe ? "pedestrian SAFE, no collision" : "COLLISION",
+              world.min_pair_distance(sc.ego, sc.threat));
+  return safe ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the core relevance + dissemination API in ~60 lines, no
+// simulator required.
+//
+//   1. Build the HD map (a signalized 4-way intersection).
+//   2. Predict trajectories for two converging road users.
+//   3. Estimate the relevance of one to the other (collision-area math).
+//   4. Solve the bandwidth-constrained dissemination problem (Algorithm 1).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/dissemination.hpp"
+#include "core/relevance.hpp"
+#include "sim/road_network.hpp"
+#include "track/prediction.hpp"
+
+int main() {
+  using namespace erpd;
+
+  // 1) The HD map the edge server holds.
+  const sim::RoadNetwork map{sim::RoadConfig{}};
+  const track::TrajectoryPredictor predictor{map};
+
+  // 2) Two road users on a collision course: a car heading north through
+  //    the intersection and a car running the red light from the west.
+  const sim::Route& northbound =
+      map.route(*map.find_route(sim::Arm::kSouth, 1, sim::Maneuver::kStraight));
+  const sim::Route& eastbound =
+      map.route(*map.find_route(sim::Arm::kWest, 0, sim::Maneuver::kStraight));
+
+  const double speed = sim::kmh_to_ms(30.0);
+  const double s0 = northbound.stop_line_s - 22.0;
+  const auto ego_traj = predictor.predict(
+      northbound.path.point_at(s0), northbound.path.tangent_at(s0) * speed,
+      sim::AgentKind::kCar);
+  const double s1 = eastbound.stop_line_s - 18.0;
+  const auto threat_traj = predictor.predict(
+      eastbound.path.point_at(s1), eastbound.path.tangent_at(s1) * speed,
+      sim::AgentKind::kCar);
+
+  // 3) Relevance of the threat's perception data to the ego.
+  const auto est = core::estimate_collision(threat_traj, ego_traj,
+                                            /*length_a=*/4.5, /*length_b=*/4.5);
+  if (!est) {
+    std::printf("trajectories never cross within the horizon\n");
+    return 0;
+  }
+  std::printf("collision area: center=(%.1f, %.1f) radius=%.1f m\n",
+              est->collision_point.x, est->collision_point.y, est->radius);
+  std::printf("collision interval=%.2f s, ttc=%.2f s\n",
+              est->collision_interval, est->ttc);
+  std::printf("R_ci=%.3f  R_ttc=%.3f  =>  relevance R=%.3f\n", est->r_ci,
+              est->r_ttc, est->relevance);
+
+  // 4) Dissemination under a 20 KB downlink budget: the threat's cloud to
+  //    the ego competes with three less relevant objects.
+  std::vector<core::Candidate> candidates = {
+      {/*track*/ 0, /*to*/ 100, est->relevance, /*bytes*/ 4200, 0},
+      {1, 100, 0.21, 9000, 1},  // mildly relevant, heavy payload
+      {2, 101, 0.08, 2500, 2},  // barely relevant
+      {3, 101, 0.00, 1500, 3},  // irrelevant: never sent
+  };
+  const core::Selection sel = core::greedy_dissemination(candidates, 20000);
+  std::printf("\nAlgorithm 1 selected %zu of %zu candidates (%zu bytes):\n",
+              sel.chosen.size(), candidates.size(), sel.total_bytes);
+  for (const core::Candidate& c : sel.chosen) {
+    std::printf("  send object %d to vehicle %d (R=%.3f, %zu B)\n", c.track_id,
+                c.to, c.relevance, c.bytes);
+  }
+  std::printf("total delivered relevance: %.3f\n", sel.total_relevance);
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "core/dissemination.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace erpd::core {
+
+Selection greedy_dissemination(std::vector<Candidate> candidates,
+                               std::size_t budget_bytes) {
+  // Sort by award R/s descending; equal awards break ties by higher
+  // relevance so big useful payloads beat tiny ones at the same rate.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              const double ra =
+                  a.bytes > 0 ? a.relevance / static_cast<double>(a.bytes)
+                              : a.relevance * 1e12;
+              const double rb =
+                  b.bytes > 0 ? b.relevance / static_cast<double>(b.bytes)
+                              : b.relevance * 1e12;
+              if (ra != rb) return ra > rb;
+              return a.relevance > b.relevance;
+            });
+  Selection out;
+  for (const Candidate& c : candidates) {
+    if (c.relevance <= 0.0) break;  // the rest are irrelevant
+    if (out.total_bytes + c.bytes > budget_bytes) continue;
+    out.chosen.push_back(c);
+    out.total_bytes += c.bytes;
+    out.total_relevance += c.relevance;
+  }
+  return out;
+}
+
+Selection optimal_dissemination(const std::vector<Candidate>& candidates,
+                                std::size_t budget_bytes,
+                                std::size_t resolution_bytes) {
+  if (resolution_bytes == 0) {
+    throw std::invalid_argument("optimal_dissemination: resolution must be > 0");
+  }
+  // Quantize weights *up* so the solution always respects the true budget.
+  const std::size_t cap = budget_bytes / resolution_bytes;
+  std::vector<std::size_t> w(candidates.size());
+  std::vector<const Candidate*> items;
+  std::vector<std::size_t> weights;
+  for (const Candidate& c : candidates) {
+    if (c.relevance <= 0.0) continue;
+    const std::size_t wc = (c.bytes + resolution_bytes - 1) / resolution_bytes;
+    if (wc > cap) continue;
+    items.push_back(&c);
+    weights.push_back(wc);
+  }
+
+  // value[b] = best relevance with budget b; choice tracking for recovery.
+  std::vector<double> value(cap + 1, 0.0);
+  std::vector<std::vector<bool>> taken(items.size(),
+                                       std::vector<bool>(cap + 1, false));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::size_t wi = weights[i];
+    const double vi = items[i]->relevance;
+    for (std::size_t b = cap + 1; b-- > wi;) {
+      if (value[b - wi] + vi > value[b]) {
+        value[b] = value[b - wi] + vi;
+        taken[i][b] = true;
+      }
+    }
+  }
+
+  Selection out;
+  std::size_t b = cap;
+  for (std::size_t i = items.size(); i-- > 0;) {
+    if (taken[i][b]) {
+      out.chosen.push_back(*items[i]);
+      out.total_bytes += items[i]->bytes;
+      out.total_relevance += items[i]->relevance;
+      b -= weights[i];
+    }
+  }
+  std::reverse(out.chosen.begin(), out.chosen.end());
+  return out;
+}
+
+Selection round_robin_dissemination(const std::vector<Candidate>& candidates,
+                                    std::size_t budget_bytes,
+                                    std::size_t& cursor) {
+  Selection out;
+  if (candidates.empty()) return out;
+  const std::size_t n = candidates.size();
+  cursor %= n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Candidate& c = candidates[(cursor + k) % n];
+    if (out.total_bytes + c.bytes > budget_bytes) {
+      // Head-of-line blocking: RR stalls on the first item that no longer
+      // fits, resuming there next frame (matches EMP's behaviour of
+      // spreading the map over rounds).
+      cursor = (cursor + k) % n;
+      return out;
+    }
+    out.chosen.push_back(c);
+    out.total_bytes += c.bytes;
+    out.total_relevance += c.relevance;
+  }
+  cursor = (cursor + n) % n;
+  return out;
+}
+
+Selection broadcast_dissemination(const std::vector<Candidate>& candidates) {
+  Selection out;
+  out.chosen = candidates;
+  for (const Candidate& c : candidates) {
+    out.total_bytes += c.bytes;
+    out.total_relevance += c.relevance;
+  }
+  return out;
+}
+
+}  // namespace erpd::core

@@ -1,0 +1,114 @@
+#include "core/relevance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace erpd::core {
+
+namespace {
+
+/// Passing interval (seconds, clipped to [0, horizon]) of a trajectory
+/// through the disk (center, radius), or nullopt if it never enters.
+std::optional<geom::IntervalD> passing_interval(
+    const track::PredictedTrajectory& traj, geom::Vec2 center, double radius) {
+  const double horizon = traj.horizon;
+  if (traj.speed < 1e-3) {
+    // (Nearly) stationary object: inside the area for the whole horizon or
+    // never.
+    const geom::Vec2 pos = traj.path.point_at(0.0);
+    if (distance(pos, center) <= radius) return geom::IntervalD{0.0, horizon};
+    return std::nullopt;
+  }
+  const auto arcs = traj.path.circle_intervals(center, radius);
+  // Use the first entry interval (the crossing the caller derived the center
+  // from); later re-entries are beyond this interaction.
+  for (const geom::IntervalD& arc : arcs) {
+    geom::IntervalD t{arc.lo / traj.speed, arc.hi / traj.speed};
+    if (t.lo >= horizon) continue;
+    t.hi = std::min(t.hi, horizon);
+    t.lo = std::max(t.lo, 0.0);
+    if (t.hi > t.lo || (t.lo == 0.0 && t.hi == 0.0)) return t;
+    return geom::IntervalD{t.lo, std::max(t.hi, t.lo)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<CollisionEstimate> estimate_collision(
+    const track::PredictedTrajectory& a, const track::PredictedTrajectory& b,
+    double length_a, double length_b) {
+  // Limit both paths to their horizon reach before intersecting.
+  const geom::Polyline pa = a.path.slice(0.0, std::max(a.reach(), 0.5));
+  const geom::Polyline pb = b.path.slice(0.0, std::max(b.reach(), 0.5));
+  if (pa.empty() || pb.empty()) return std::nullopt;
+
+  const auto crossing = pa.first_crossing(pb);
+  if (!crossing) return std::nullopt;
+
+  CollisionEstimate est;
+  est.collision_point = crossing->point;
+  est.radius = std::max(length_a, length_b);
+  const double horizon = std::min(a.horizon, b.horizon);
+
+  const auto t1 = passing_interval(a, est.collision_point, est.radius);
+  const auto t2 = passing_interval(b, est.collision_point, est.radius);
+  if (!t1 || !t2) {
+    // One object never reaches the area within the horizon.
+    est.ttc = horizon;
+    return est;
+  }
+
+  const auto overlap = geom::interval_overlap(*t1, *t2);
+  if (!overlap) {
+    // Trajectories cross but passing times are disjoint (the paper's G vs p
+    // example): both R_ci and R_ttc are 0.
+    est.ttc = horizon;
+    return est;
+  }
+
+  est.collides = true;
+  est.collision_interval = overlap->length();
+  const double union_len = geom::interval_union_length(*t1, *t2);
+  est.r_ci = union_len > 0.0 ? est.collision_interval / union_len : 1.0;
+  est.ttc = overlap->lo;
+  est.r_ttc = std::clamp(1.0 - est.ttc / horizon, 0.0, 1.0);
+  est.relevance = 0.5 * (est.r_ci + est.r_ttc);
+  return est;
+}
+
+std::optional<CollisionEstimate> estimate_collision_probabilistic(
+    const track::PredictedTrajectory& a, const track::PredictedTrajectory& b,
+    double length_a, double length_b) {
+  auto est = estimate_collision(a, b, length_a, length_b);
+  if (!est || !est->collides) return est;
+  // Probability that each object is actually inside the collision area at
+  // the earliest joint time, under its predicted-position Gaussian.
+  const double t = est->ttc;
+  const double pa =
+      a.uncertainty_at(t).mass_in_circle(est->collision_point, est->radius);
+  const double pb =
+      b.uncertainty_at(t).mass_in_circle(est->collision_point, est->radius);
+  est->relevance *= pa * pb;
+  return est;
+}
+
+bool follower_unsafe(double gap, double follower_speed,
+                     const FollowerRelevanceConfig& cfg) {
+  const bool pipes_ok = cfg.pipes.compliant(gap, follower_speed);
+  const bool gipps_ok = cfg.gipps.compliant(gap, follower_speed);
+  switch (cfg.criterion) {
+    case FollowerCriterion::kViolatesAny: return !pipes_ok || !gipps_ok;
+    case FollowerCriterion::kViolatesBoth: return !pipes_ok && !gipps_ok;
+  }
+  return false;
+}
+
+double follower_relevance(double leader_relevance, double gap,
+                          double follower_speed,
+                          const FollowerRelevanceConfig& cfg) {
+  if (!follower_unsafe(gap, follower_speed, cfg)) return 0.0;
+  return cfg.alpha * leader_relevance;
+}
+
+}  // namespace erpd::core

@@ -1,0 +1,89 @@
+#pragma once
+// Relevance estimation (paper §III-A).
+//
+// Relevance of perception data quantifies the probability of a potential
+// collision between the corresponding objects:
+//
+//   - trajectory-based (§III-A.1): at a trajectory crossing, place a circular
+//     *collision area* of radius = the larger object's length; compute each
+//     object's passing interval through the circle; then
+//        R_ci  = |t1 ∩ t2| / |t1 ∪ t2|          (collision interval IoU)
+//        ttc   = start of the overlap;  R_ttc = 1 - ttc / T  (0 if disjoint)
+//        R     = (R_ci + R_ttc) / 2
+//
+//   - car-following-based (§III-A.2): a follower that violates the safety
+//     criteria (Pipes' rule / Gipps time gap) inherits alpha x its leader's
+//     relevance, because it would rear-end the leader if the leader brakes
+//     after receiving a dissemination.
+
+#include <optional>
+
+#include "geom/vec2.hpp"
+#include "sim/car_following.hpp"
+#include "track/prediction.hpp"
+
+namespace erpd::core {
+
+struct CollisionEstimate {
+  /// True if the passing intervals overlap (a collision is possible).
+  bool collides{false};
+  /// Collision interval |t1 ∩ t2| in seconds.
+  double collision_interval{0.0};
+  /// Earliest possible collision time (= T when no overlap).
+  double ttc{0.0};
+  double r_ci{0.0};
+  double r_ttc{0.0};
+  /// Combined relevance in [0, 1].
+  double relevance{0.0};
+  /// Where the trajectories cross and the collision-area radius.
+  geom::Vec2 collision_point{};
+  double radius{0.0};
+};
+
+/// Estimate the potential collision between two predicted trajectories.
+/// `length_a`/`length_b` are the objects' footprint lengths (meters); the
+/// collision-area radius is their maximum. Returns nullopt when the
+/// trajectories never cross within their horizons.
+std::optional<CollisionEstimate> estimate_collision(
+    const track::PredictedTrajectory& a, const track::PredictedTrajectory& b,
+    double length_a, double length_b);
+
+/// Alternative estimator discussed in §III-A.1: weight the interval-based
+/// relevance by the probability mass the two predicted-position Gaussians
+/// put inside the collision area at the moment the collision interval
+/// starts. This is the "joint probability at the trajectory intersection"
+/// idea of refs [24]-[26] combined with the collision area; it is costlier
+/// (numeric quadrature) and typically *lowers* relevance when prediction
+/// uncertainty is large. The paper's default (estimate_collision) treats
+/// presence in the area as certain; this variant exists for the ablation.
+std::optional<CollisionEstimate> estimate_collision_probabilistic(
+    const track::PredictedTrajectory& a, const track::PredictedTrajectory& b,
+    double length_a, double length_b);
+
+/// How a follower is judged unsafe behind its leader.
+enum class FollowerCriterion {
+  /// Relevant if it violates Pipes *or* the Gipps gap (conservative).
+  kViolatesAny,
+  /// Relevant only if it violates both.
+  kViolatesBoth,
+};
+
+struct FollowerRelevanceConfig {
+  /// Decay factor alpha in (0, 1]; paper uses 0.8.
+  double alpha{0.8};
+  sim::PipesModel pipes{};
+  sim::GippsModel gipps{};
+  FollowerCriterion criterion{FollowerCriterion::kViolatesAny};
+};
+
+/// True if the follower fails the configured safety criteria and therefore
+/// inherits relevance from its leader.
+bool follower_unsafe(double gap, double follower_speed,
+                     const FollowerRelevanceConfig& cfg);
+
+/// R_follower = alpha * R_leader if unsafe, else 0.
+double follower_relevance(double leader_relevance, double gap,
+                          double follower_speed,
+                          const FollowerRelevanceConfig& cfg);
+
+}  // namespace erpd::core

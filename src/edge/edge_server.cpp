@@ -1,0 +1,415 @@
+#include "edge/edge_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "pointcloud/encoding.hpp"
+#include "pointcloud/voxel_grid.hpp"
+
+namespace erpd::edge {
+
+using Clock = std::chrono::steady_clock;
+using geom::Vec2;
+
+namespace {
+
+double elapsed(Clock::time_point from) {
+  return std::chrono::duration<double>(Clock::now() - from).count();
+}
+
+}  // namespace
+
+EdgeServer::EdgeServer(const sim::RoadNetwork& net, EdgeConfig cfg)
+    : net_(net),
+      cfg_(cfg),
+      tracker_(cfg.tracker),
+      rules_(net, cfg.rules),
+      predictor_(net, cfg.predictor) {}
+
+sim::AgentKind EdgeServer::classify_extent(const geom::Aabb& box) {
+  if (box.empty()) return sim::AgentKind::kPedestrian;
+  const Vec2 e = box.extent();
+  return std::max(e.x, e.y) < 1.4 ? sim::AgentKind::kPedestrian
+                                  : sim::AgentKind::kCar;
+}
+
+sim::AgentId EdgeServer::match_truth(
+    const std::vector<sim::AgentSnapshot>& truth, Vec2 pos, double radius) {
+  sim::AgentId best = sim::kInvalidAgent;
+  double best_d = radius;
+  for (const sim::AgentSnapshot& a : truth) {
+    const double d = distance(a.position, pos);
+    if (d < best_d) {
+      best_d = d;
+      best = a.id;
+    }
+  }
+  return best;
+}
+
+std::vector<track::Detection> EdgeServer::build_detections(
+    const std::vector<net::UploadFrame>& uploads,
+    const std::vector<sim::AgentSnapshot>* truth) const {
+  std::vector<track::Detection> out;
+
+  // Object-granular uploads (Ours) become detections directly; blob uploads
+  // (EMP cells / raw frames) are merged and segmented server-side.
+  pc::PointCloud merged_blob;
+  for (const net::UploadFrame& frame : uploads) {
+    for (const net::ObjectUpload& obj : frame.objects) {
+      if (obj.object_granular) {
+        track::Detection d;
+        d.position = obj.centroid_world.xy();
+        d.velocity = obj.velocity_world;
+        const geom::Aabb box = obj.cloud_world.aabb_xy();
+        d.kind = classify_extent(box);
+        d.extent = box.empty() ? 0.0 : std::max(box.extent().x, box.extent().y);
+        d.point_count = obj.point_count;
+        d.payload_bytes = pc::encoded_size_bytes(obj.point_count);
+        d.truth_id = obj.truth_id;
+        out.push_back(std::move(d));
+      } else {
+        merged_blob.append(obj.cloud_world);
+      }
+    }
+  }
+
+  // Point Cloud Merging (paper §II-C): several vehicles report the same
+  // object from different viewpoints; fuse reports that lie within the
+  // footprint of one object into a single detection, or the tracker would
+  // breed duplicate tracks of everything.
+  if (out.size() > 1) {
+    std::vector<track::Detection> fused;
+    std::vector<bool> used(out.size(), false);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (used[i]) continue;
+      track::Detection merged = out[i];
+      geom::Vec2 pos_sum = out[i].position;
+      geom::Vec2 vel_sum = out[i].velocity.value_or(geom::Vec2{});
+      int n = 1;
+      for (std::size_t j = i + 1; j < out.size(); ++j) {
+        if (used[j]) continue;
+        if (distance(out[j].position, out[i].position) > 2.4) continue;
+        used[j] = true;
+        pos_sum += out[j].position;
+        vel_sum += out[j].velocity.value_or(geom::Vec2{});
+        ++n;
+        // Keep the richest view as the dissemination payload.
+        if (out[j].point_count > merged.point_count) {
+          merged.point_count = out[j].point_count;
+          merged.payload_bytes = out[j].payload_bytes;
+        }
+        merged.extent = std::max(merged.extent, out[j].extent);
+        if (merged.extent > 1.4) merged.kind = sim::AgentKind::kCar;
+        if (merged.truth_id == sim::kInvalidAgent) {
+          merged.truth_id = out[j].truth_id;
+        }
+      }
+      merged.position = pos_sum / static_cast<double>(n);
+      if (merged.velocity) {
+        merged.velocity = vel_sum / static_cast<double>(n);
+      }
+      fused.push_back(std::move(merged));
+    }
+    out = std::move(fused);
+  }
+
+  if (!merged_blob.empty()) {
+    // Server-side ground strip (raw uploads still carry ground returns) and
+    // voxel thinning, then density clustering into objects.
+    pc::PointCloud above;
+    above.reserve(merged_blob.size());
+    for (const geom::Vec3& p : merged_blob.points()) {
+      if (p.z > 0.25) above.push_back(p);
+    }
+    const pc::PointCloud thin = pc::voxel_downsample(above, cfg_.detect_voxel);
+    const pc::DbscanResult seg = pc::dbscan(thin, cfg_.detect_dbscan);
+    for (const pc::ObjectCluster& c : pc::extract_clusters(thin, seg)) {
+      if (c.point_count() < 4) continue;
+      track::Detection d;
+      d.position = c.centroid.xy();
+      d.kind = classify_extent(c.footprint);
+      d.extent = c.footprint.empty()
+                     ? 0.0
+                     : std::max(c.footprint.extent().x, c.footprint.extent().y);
+      d.point_count = c.point_count();
+      d.payload_bytes = pc::encoded_size_bytes(c.point_count());
+      if (truth != nullptr) {
+        d.truth_id = match_truth(*truth, d.position, 2.5);
+      }
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+FrameOutput EdgeServer::process_frame(
+    const std::vector<net::UploadFrame>& uploads, double t,
+    const std::vector<sim::AgentSnapshot>* truth) {
+  FrameOutput out;
+
+  // ---- Traffic-map construction (merge + detection) -----------------------
+  auto t0 = Clock::now();
+  const std::vector<track::Detection> detections =
+      build_detections(uploads, truth);
+  out.detections = detections.size();
+
+  // Update the connected-vehicle registry from upload poses. Velocity is
+  // the pose displacement since the previous upload.
+  for (const net::UploadFrame& f : uploads) {
+    VehicleInfo& info = fleet_[f.vehicle];
+    const Vec2 pos = f.pose.position.xy();
+    if (info.has_prev && t > info.last_seen) {
+      info.velocity = (pos - info.position) / (t - info.last_seen);
+    }
+    info.position = pos;
+    info.heading = f.pose.yaw;
+    info.last_seen = t;
+    info.has_prev = true;
+  }
+  // Forget vehicles that stopped uploading.
+  std::erase_if(fleet_, [t](const auto& kv) {
+    return t - kv.second.last_seen > 1.0;
+  });
+  out.timings.merge_seconds = elapsed(t0);
+
+  // ---- Tracking + rules + prediction --------------------------------------
+  t0 = Clock::now();
+  tracker_.step(detections, t);
+  const std::vector<const track::Track*> confirmed = tracker_.confirmed();
+  out.confirmed_tracks = confirmed.size();
+  for (const track::Track* tr : confirmed) {
+    if (tr->misses == 0 && tr->velocity().norm() > 1.0) ++out.moving_tracks;
+  }
+
+  const track::RepresentativeSet reps = rules_.select(confirmed);
+  out.predicted_tracks = reps.predicted_tracks.size();
+
+  // Hypothesis sets: on a shared approach the lane intent is ambiguous, so
+  // each predicted object/vehicle carries one trajectory per plausible
+  // maneuver and relevance maximizes over the combinations.
+  std::map<int, std::vector<track::PredictedTrajectory>> traj;
+  for (int id : reps.predicted_tracks) {
+    if (const track::Track* tr = tracker_.find(id)) {
+      traj.emplace(id, predictor_.predict_hypotheses(*tr));
+    }
+  }
+  std::map<sim::AgentId, std::vector<track::PredictedTrajectory>> vehicle_traj;
+  for (const auto& [vid, info] : fleet_) {
+    vehicle_traj.emplace(vid,
+                         predictor_.predict_hypotheses(
+                             info.position, info.velocity, sim::AgentKind::kCar));
+  }
+  out.timings.track_predict_seconds = elapsed(t0);
+
+  // ---- Relevance estimation -----------------------------------------------
+  t0 = Clock::now();
+
+  // Visibility: which tracks does each uploader already see?
+  // For object-granular uploads, compare object centroids; for blobs, count
+  // points near the track.
+  auto visible_to = [&](const net::UploadFrame& frame, Vec2 track_pos) {
+    for (const net::ObjectUpload& obj : frame.objects) {
+      if (obj.object_granular) {
+        if (distance(obj.centroid_world.xy(), track_pos) <
+            cfg_.visibility_radius) {
+          return true;
+        }
+      } else {
+        int near = 0;
+        for (const geom::Vec3& p : obj.cloud_world.points()) {
+          if (distance(p.xy(), track_pos) < cfg_.visibility_radius &&
+              ++near >= 3) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  const auto object_kind_length = [](sim::AgentKind k) {
+    return sim::default_dims(k).length;
+  };
+
+  // Max-relevance collision estimate over trajectory hypothesis pairs.
+  const auto best_estimate =
+      [](const std::vector<track::PredictedTrajectory>& a,
+         const std::vector<track::PredictedTrajectory>& b, double len_a,
+         double len_b) -> std::optional<core::CollisionEstimate> {
+    std::optional<core::CollisionEstimate> best;
+    for (const auto& ta : a) {
+      for (const auto& tb : b) {
+        const auto est = core::estimate_collision(ta, tb, len_a, len_b);
+        if (est && (!best || est->relevance > best->relevance)) best = est;
+      }
+    }
+    return best;
+  };
+
+  std::vector<core::Candidate> candidates;
+  // Relevance of each object to each *connected* vehicle.
+  // track id -> (vehicle -> relevance), reused for follower propagation.
+  std::map<int, std::map<sim::AgentId, double>> relevance_of;
+
+  const bool need_relevance =
+      cfg_.strategy == DisseminationStrategy::kRelevanceGreedy ||
+      cfg_.strategy == DisseminationStrategy::kRelevanceOptimal;
+
+  if (need_relevance) {
+    for (const auto& [vid, info] : fleet_) {
+      const auto vt = vehicle_traj.find(vid);
+      if (vt == vehicle_traj.end()) continue;
+      // The uploader's own frame, for the visibility rule.
+      const net::UploadFrame* own = nullptr;
+      for (const net::UploadFrame& f : uploads) {
+        if (f.vehicle == vid) own = &f;
+      }
+      for (const auto& [tid, trj] : traj) {
+        const track::Track* tr = tracker_.find(tid);
+        if (tr == nullptr) continue;
+        // Skip the vehicle's own track.
+        if (distance(tr->position(), info.position) < cfg_.self_radius) {
+          continue;
+        }
+        // Directly observable objects need no dissemination (relevance 0).
+        if (own != nullptr && visible_to(*own, tr->position())) continue;
+
+        const auto est =
+            best_estimate(trj, vt->second, object_kind_length(tr->kind),
+                          object_kind_length(sim::AgentKind::kCar));
+        if (!est || est->relevance < cfg_.min_relevance) continue;
+        relevance_of[tid][vid] = est->relevance;
+        candidates.push_back({tid, vid, est->relevance, tr->payload_bytes,
+                              tr->truth_id});
+      }
+    }
+
+    // Pedestrian cluster members inherit their representative's relevance.
+    for (const auto& [member, rep] : reps.pedestrian_rep_of) {
+      const auto rep_rel = relevance_of.find(rep);
+      if (rep_rel == relevance_of.end()) continue;
+      const track::Track* tr = tracker_.find(member);
+      if (tr == nullptr) continue;
+      for (const auto& [vid, r] : rep_rel->second) {
+        const auto& info = fleet_.at(vid);
+        if (distance(tr->position(), info.position) < cfg_.self_radius) {
+          continue;
+        }
+        candidates.push_back({member, vid, r, tr->payload_bytes, tr->truth_id});
+        relevance_of[member][vid] = r;
+      }
+    }
+
+    // Follower relevance (§III-A.2): walk each lane queue front-to-back and
+    // propagate alpha-decayed relevance to unsafe followers.
+    if (cfg_.follower_relevance) {
+      for (const track::LaneQueue& q : reps.lane_queues) {
+        for (std::size_t i = 1; i < q.track_ids.size(); ++i) {
+          const int follower_tid = q.track_ids[i];
+          const int leader_tid = q.track_ids[i - 1];
+          const track::Track* ftr = tracker_.find(follower_tid);
+          const track::Track* ltr = tracker_.find(leader_tid);
+          if (ftr == nullptr || ltr == nullptr) break;
+          const double gap = q.arc_lengths[i - 1] - q.arc_lengths[i] -
+                             object_kind_length(ftr->kind);
+          const double fspeed = ftr->velocity().norm();
+          if (!core::follower_unsafe(gap, fspeed, cfg_.follower)) continue;
+
+          // The follower *receives* data, so it must be a connected vehicle.
+          sim::AgentId follower_vid = sim::kInvalidAgent;
+          for (const auto& [vid, info] : fleet_) {
+            if (distance(info.position, ftr->position()) < cfg_.self_radius) {
+              follower_vid = vid;
+              break;
+            }
+          }
+          if (follower_vid == sim::kInvalidAgent) continue;
+
+          // Inherit from every object relevant to the leader. If the leader
+          // is itself connected its recipient relevance is already in
+          // relevance_of; otherwise estimate the object-leader collision
+          // directly from their trajectories.
+          for (const auto& [obj_tid, per_vehicle] : relevance_of) {
+            if (obj_tid == follower_tid) continue;
+            // Leader's relevance for this object, via the leader's vehicle id
+            // if connected, else via a fresh trajectory-pair estimate.
+            double r_leader = 0.0;
+            for (const auto& [vid, info] : fleet_) {
+              if (distance(info.position, ltr->position()) < cfg_.self_radius) {
+                const auto it = per_vehicle.find(vid);
+                if (it != per_vehicle.end()) r_leader = it->second;
+                break;
+              }
+            }
+            if (r_leader <= 0.0) {
+              const auto obj_traj = traj.find(obj_tid);
+              if (obj_traj == traj.end()) continue;
+              const auto lead_traj = predictor_.predict_hypotheses(
+                  ltr->position(), ltr->velocity(), ltr->kind);
+              const auto est = best_estimate(
+                  obj_traj->second, lead_traj,
+                  object_kind_length(tracker_.find(obj_tid)->kind),
+                  object_kind_length(ltr->kind));
+              if (est) r_leader = est->relevance;
+            }
+            if (r_leader < cfg_.min_relevance) continue;
+            const double r_f = cfg_.follower.alpha * r_leader;
+            if (r_f < cfg_.min_relevance) continue;
+            auto& slot = relevance_of[obj_tid][follower_vid];
+            if (r_f > slot) {
+              slot = r_f;
+              const track::Track* obj_tr = tracker_.find(obj_tid);
+              candidates.push_back({obj_tid, follower_vid, r_f,
+                                    obj_tr->payload_bytes, obj_tr->truth_id});
+            }
+          }
+        }
+      }
+    }
+  } else {
+    // EMP / Unlimited: every confirmed track to every connected vehicle.
+    for (const track::Track* tr : confirmed) {
+      for (const auto& [vid, info] : fleet_) {
+        if (distance(tr->position(), info.position) < cfg_.self_radius) {
+          continue;
+        }
+        candidates.push_back({tr->id, vid, 0.0, tr->payload_bytes,
+                              tr->truth_id});
+      }
+    }
+  }
+  out.candidates = candidates.size();
+  out.timings.relevance_seconds = elapsed(t0);
+
+  // ---- Dissemination scheduling -------------------------------------------
+  t0 = Clock::now();
+  const std::size_t budget = cfg_.wireless.downlink_budget_bytes();
+  core::Selection sel;
+  switch (cfg_.strategy) {
+    case DisseminationStrategy::kRelevanceGreedy:
+      sel = core::greedy_dissemination(candidates, budget);
+      break;
+    case DisseminationStrategy::kRelevanceOptimal:
+      sel = core::optimal_dissemination(candidates, budget);
+      break;
+    case DisseminationStrategy::kRoundRobin:
+      sel = core::round_robin_dissemination(candidates, budget, rr_cursor_);
+      break;
+    case DisseminationStrategy::kBroadcast:
+      sel = core::broadcast_dissemination(candidates);
+      break;
+  }
+  out.timings.dissemination_seconds = elapsed(t0);
+
+  out.downlink_bytes = sel.total_bytes;
+  out.delivered_relevance = sel.total_relevance;
+  out.selected.reserve(sel.chosen.size());
+  for (const core::Candidate& c : sel.chosen) {
+    out.selected.push_back({c.to, c.track_id, c.about, c.bytes, c.relevance});
+  }
+  return out;
+}
+
+}  // namespace erpd::edge

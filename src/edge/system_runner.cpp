@@ -1,0 +1,275 @@
+#include "edge/system_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace erpd::edge {
+
+using Clock = std::chrono::steady_clock;
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kSingle: return "Single";
+    case Method::kEmp: return "EMP";
+    case Method::kOurs: return "Ours";
+    case Method::kUnlimited: return "Unlimited";
+  }
+  return "?";
+}
+
+RunnerConfig make_runner_config(Method method,
+                                const net::WirelessConfig& wireless) {
+  RunnerConfig rc;
+  rc.method = method;
+  rc.wireless = wireless;
+  rc.edge.wireless = wireless;
+  switch (method) {
+    case Method::kSingle:
+      break;
+    case Method::kEmp:
+      rc.client.policy = UploadPolicy::kEmpVoronoi;
+      rc.edge.strategy = DisseminationStrategy::kRoundRobin;
+      break;
+    case Method::kOurs:
+      rc.client.policy = UploadPolicy::kOursMovingObjects;
+      rc.edge.strategy = DisseminationStrategy::kRelevanceGreedy;
+      break;
+    case Method::kUnlimited:
+      rc.client.policy = UploadPolicy::kUnlimitedRaw;
+      rc.edge.strategy = DisseminationStrategy::kBroadcast;
+      // Effectively uncapped pipes.
+      rc.wireless.uplink_mbps = 1e6;
+      rc.wireless.downlink_mbps = 1e6;
+      rc.edge.wireless = rc.wireless;
+      break;
+  }
+  return rc;
+}
+
+namespace {
+
+/// Apply the shared uplink cap to this frame's uploads. Grant order rotates
+/// across frames for fairness (EMP's round-robin uploading). Oversized blob
+/// uploads are truncated point-wise (angular sectors are lost, as when EMP
+/// exceeds its budget); object-granular uploads drop whole objects.
+std::vector<net::UploadFrame> apply_uplink_cap(
+    std::vector<net::UploadFrame> frames, std::size_t budget_bytes,
+    std::size_t rotate) {
+  std::vector<net::UploadFrame> out;
+  if (frames.empty()) return out;
+  net::FrameBudget budget(budget_bytes);
+  const std::size_t n = frames.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    net::UploadFrame& f = frames[(rotate + k) % n];
+    if (!budget.try_grant(net::UploadFrame::kFrameOverhead)) break;
+    net::UploadFrame kept;
+    kept.vehicle = f.vehicle;
+    kept.pose = f.pose;
+    kept.timestamp = f.timestamp;
+    for (net::ObjectUpload& obj : f.objects) {
+      if (budget.try_grant(obj.bytes)) {
+        kept.objects.push_back(std::move(obj));
+        continue;
+      }
+      if (!obj.object_granular) {
+        // Truncate the blob to whatever still fits.
+        const std::size_t avail = budget.remaining();
+        const std::size_t header = pc::encoded_size_bytes(0);
+        if (avail > header + 64) {
+          const std::size_t pts = (avail - header) / 6;
+          net::ObjectUpload part;
+          part.object_granular = false;
+          std::vector<geom::Vec3> sub(
+              obj.cloud_world.points().begin(),
+              obj.cloud_world.points().begin() +
+                  static_cast<std::ptrdiff_t>(
+                      std::min<std::size_t>(pts, obj.cloud_world.size())));
+          part.cloud_world = pc::PointCloud{std::move(sub)};
+          part.point_count = part.cloud_world.size();
+          part.bytes = pc::encoded_size_bytes(part.point_count);
+          part.centroid_world = part.cloud_world.centroid();
+          budget.grant_partial(part.bytes);
+          kept.objects.push_back(std::move(part));
+        }
+      }
+      // Object-granular uploads: this object is simply lost this frame.
+    }
+    if (!kept.objects.empty()) out.push_back(std::move(kept));
+  }
+  return out;
+}
+
+}  // namespace
+
+SystemRunner::SystemRunner(RunnerConfig cfg) : cfg_(cfg) {}
+
+MethodMetrics SystemRunner::run(sim::Scenario& sc) {
+  sim::World& world = sc.world;
+  const sim::RoadNetwork& net = world.network();
+
+  std::map<sim::AgentId, VehicleClient> clients;
+  if (cfg_.method != Method::kSingle) {
+    for (const sim::Vehicle& v : world.vehicles()) {
+      if (v.params().connected && !v.params().parked) {
+        clients.emplace(v.id(), VehicleClient(v.id(), cfg_.client));
+      }
+    }
+  }
+
+  EdgeServer server(net, cfg_.edge);
+
+  MethodMetrics m;
+  net::BandwidthMeter up_meter;
+  net::BandwidthMeter down_meter;
+  double sum_objects = 0.0;
+  double sum_e2e = 0.0;
+  double sum_extract = 0.0;
+  double sum_upload = 0.0;
+  double sum_merge = 0.0;
+  double sum_track = 0.0;
+  double sum_diss = 0.0;
+  double sum_downlink = 0.0;
+  int pipeline_frames = 0;
+
+  const int steps =
+      static_cast<int>(std::llround(cfg_.duration / world.config().dt));
+  const bool capped = cfg_.method == Method::kEmp || cfg_.method == Method::kOurs;
+
+  for (int frame = 0; frame < steps; ++frame) {
+    if (cfg_.method != Method::kSingle &&
+        frame % cfg_.frames_per_pipeline == 0) {
+      // --- Vehicle-side sensing & extraction ---
+      std::vector<net::UploadFrame> uploads;
+      std::vector<geom::Vec2> sites;
+      std::vector<sim::AgentId> site_ids;
+      for (const auto& [vid, client] : clients) {
+        const sim::Vehicle* v = world.find_vehicle(vid);
+        if (v == nullptr || v->finished(net) || v->crashed()) continue;
+        sites.push_back(v->position(net));
+        site_ids.push_back(vid);
+      }
+      const geom::VoronoiPartition voronoi(sites);
+
+      double max_extract = 0.0;
+      for (std::size_t i = 0; i < site_ids.size(); ++i) {
+        const sim::AgentId vid = site_ids[i];
+        ClientFrameStats stats;
+        net::UploadFrame f =
+            clients.at(vid).make_upload(world, &voronoi, i, &stats);
+        max_extract = std::max(max_extract, stats.processing_seconds);
+        uploads.push_back(std::move(f));
+      }
+
+      // --- Uplink cap ---
+      std::size_t offered_bytes = 0;
+      for (const net::UploadFrame& f : uploads) offered_bytes += f.total_bytes();
+      std::vector<net::UploadFrame> delivered =
+          capped ? apply_uplink_cap(std::move(uploads),
+                                    cfg_.wireless.uplink_budget_bytes(),
+                                    static_cast<std::size_t>(frame))
+                 : std::move(uploads);
+      std::size_t delivered_bytes = 0;
+      for (const net::UploadFrame& f : delivered) {
+        delivered_bytes += f.total_bytes();
+      }
+      up_meter.add(delivered_bytes);
+      (void)offered_bytes;
+
+      // --- Edge server ---
+      const std::vector<sim::AgentSnapshot> truth = world.snapshot();
+      const FrameOutput fo =
+          server.process_frame(delivered, world.time(), &truth);
+
+      // --- Deliver disseminations back to drivers ---
+      for (const net::Dissemination& d : fo.selected) {
+        if (d.about != sim::kInvalidAgent) {
+          world.notify_vehicle(d.to, d.about);
+        }
+        m.delivered_relevance += d.relevance;
+      }
+      m.disseminations += static_cast<int>(fo.selected.size());
+      down_meter.add(fo.downlink_bytes);
+
+      // --- Latency accounting ---
+      const double t_upload = net::transfer_delay(
+          delivered_bytes, cfg_.wireless.uplink_mbps,
+          cfg_.wireless.base_latency);
+      const double t_down = net::transfer_delay(
+          fo.downlink_bytes, cfg_.wireless.downlink_mbps,
+          cfg_.wireless.base_latency);
+      sum_extract += max_extract;
+      sum_upload += t_upload;
+      sum_merge += fo.timings.merge_seconds;
+      sum_track +=
+          fo.timings.track_predict_seconds + fo.timings.relevance_seconds;
+      sum_diss += fo.timings.dissemination_seconds;
+      sum_downlink += t_down;
+      sum_e2e += max_extract + t_upload + fo.timings.merge_seconds +
+                 fo.timings.track_predict_seconds +
+                 fo.timings.relevance_seconds +
+                 fo.timings.dissemination_seconds + t_down;
+      sum_objects += static_cast<double>(fo.moving_tracks);
+      ++pipeline_frames;
+    }
+
+    world.step();
+  }
+
+  // --- Safety metrics ---
+  int entered = 0;
+  int safe = 0;
+  for (const sim::Vehicle& v : world.vehicles()) {
+    if (v.params().parked) continue;
+    const sim::Route& route = net.route(v.route_id());
+    const bool reached_box = v.s() >= route.box_entry_s;
+    const bool crashed = world.agent_crashed(v.id());
+    if (reached_box || crashed) {
+      ++entered;
+      if (!crashed) ++safe;
+    }
+  }
+  m.vehicles_entered = entered;
+  m.vehicles_safe = safe;
+  m.safe_passage_rate =
+      entered > 0 ? static_cast<double>(safe) / entered : 1.0;
+  m.ego_safe = !world.agent_crashed(sc.ego);
+  m.follower_safe = sc.ego_follower == sim::kInvalidAgent ||
+                    !world.agent_crashed(sc.ego_follower);
+  m.follower_min_gap =
+      sc.ego_follower == sim::kInvalidAgent
+          ? std::numeric_limits<double>::infinity()
+          : world.min_pair_distance(sc.ego_follower, sc.ego);
+  {
+    int pair = 0;
+    int pair_safe = 0;
+    for (sim::AgentId id : {sc.ego, sc.threat}) {
+      if (id == sim::kInvalidAgent) continue;
+      ++pair;
+      if (!world.agent_crashed(id)) ++pair_safe;
+    }
+    m.conflict_safe_rate = pair > 0 ? static_cast<double>(pair_safe) / pair : 1.0;
+  }
+  m.collisions = static_cast<int>(world.collisions().size());
+  m.min_key_distance = world.min_pair_distance(sc.ego, sc.threat);
+
+  const double elapsed = cfg_.duration;
+  m.uplink_mbps = up_meter.mbps(elapsed);
+  m.downlink_mbps = down_meter.mbps(elapsed);
+  m.uplink_bytes_per_frame = up_meter.bytes_per_frame();
+  m.downlink_bytes_per_frame = down_meter.bytes_per_frame();
+  if (pipeline_frames > 0) {
+    const double n = pipeline_frames;
+    m.avg_objects_detected = sum_objects / n;
+    m.e2e_latency = sum_e2e / n;
+    m.extraction_seconds = sum_extract / n;
+    m.upload_seconds = sum_upload / n;
+    m.merge_seconds = sum_merge / n;
+    m.track_predict_seconds = sum_track / n;
+    m.dissemination_decision_seconds = sum_diss / n;
+    m.downlink_transfer_seconds = sum_downlink / n;
+  }
+  return m;
+}
+
+}  // namespace erpd::edge

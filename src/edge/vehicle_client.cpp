@@ -1,0 +1,110 @@
+#include "edge/vehicle_client.hpp"
+
+#include <chrono>
+#include <limits>
+
+#include "pointcloud/ground_filter.hpp"
+
+namespace erpd::edge {
+
+using Clock = std::chrono::steady_clock;
+
+VehicleClient::VehicleClient(sim::AgentId vehicle, ClientConfig cfg)
+    : vehicle_(vehicle), cfg_(cfg), extractor_(cfg.extractor) {}
+
+sim::AgentId VehicleClient::match_truth(const sim::World& world,
+                                        geom::Vec2 centroid, double radius,
+                                        sim::AgentId self) {
+  sim::AgentId best = sim::kInvalidAgent;
+  double best_d = radius;
+  for (const sim::AgentSnapshot& a : world.snapshot()) {
+    if (a.id == self || a.parked) continue;
+    const double d = distance(a.position, centroid);
+    if (d < best_d) {
+      best_d = d;
+      best = a.id;
+    }
+  }
+  return best;
+}
+
+net::UploadFrame VehicleClient::make_upload(sim::World& world,
+                                            const geom::VoronoiPartition* voronoi,
+                                            std::size_t voronoi_cell,
+                                            ClientFrameStats* stats) {
+  net::UploadFrame frame;
+  frame.vehicle = vehicle_;
+  frame.timestamp = world.time();
+  const sim::Vehicle* me = world.find_vehicle(vehicle_);
+  if (me == nullptr) return frame;
+  frame.pose = me->sensor_pose(world.network(), world.config().sensor_height);
+
+  const sim::LidarScan scan = world.scan_from(vehicle_);
+  const auto t0 = Clock::now();
+
+  switch (cfg_.policy) {
+    case UploadPolicy::kOursMovingObjects: {
+      const pc::ExtractionResult ex =
+          extractor_.process(scan.cloud, frame.pose, world.time());
+      for (const pc::ExtractedObject& obj : ex.objects) {
+        net::ObjectUpload up;
+        up.object_granular = true;
+        up.centroid_world = obj.centroid_world;
+        up.velocity_world = obj.velocity_world;
+        up.point_count = obj.point_count;
+        up.bytes = pc::encoded_size_bytes(obj.point_count);
+        up.cloud_world = obj.points_world;
+        up.truth_id = match_truth(world, obj.centroid_world.xy(),
+                                  cfg_.truth_match_radius, vehicle_);
+        frame.objects.push_back(std::move(up));
+      }
+      break;
+    }
+    case UploadPolicy::kEmpVoronoi: {
+      // EMP: ground-removed cloud, cropped to this vehicle's Voronoi cell.
+      pc::PointCloud no_ground =
+          pc::remove_ground(scan.cloud, cfg_.extractor.ground);
+      const geom::Mat4 t_lw = geom::Mat4::from_pose(frame.pose);
+      pc::PointCloud world_cloud = no_ground.transformed(t_lw);
+      pc::PointCloud cell;
+      cell.reserve(world_cloud.size());
+      for (const geom::Vec3& p : world_cloud.points()) {
+        if (voronoi == nullptr || voronoi->in_cell(p.xy(), voronoi_cell)) {
+          cell.push_back(p);
+        }
+      }
+      net::ObjectUpload up;
+      up.centroid_world = cell.centroid();
+      up.point_count = cell.size();
+      up.bytes = pc::encoded_size_bytes(cell.size());
+      up.cloud_world = std::move(cell);
+      frame.objects.push_back(std::move(up));
+      break;
+    }
+    case UploadPolicy::kUnlimitedRaw: {
+      const geom::Mat4 t_lw = geom::Mat4::from_pose(frame.pose);
+      net::ObjectUpload up;
+      up.point_count = scan.cloud.size();
+      // Raw sensor format, no quantized encoding.
+      up.bytes = scan.cloud.raw_size_bytes();
+      up.cloud_world = scan.cloud.transformed(t_lw);
+      up.centroid_world = up.cloud_world.centroid();
+      frame.objects.push_back(std::move(up));
+      break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->raw_points = scan.cloud.size();
+    stats->uploaded_points = 0;
+    stats->uploaded_bytes = frame.total_bytes();
+    for (const net::ObjectUpload& o : frame.objects) {
+      stats->uploaded_points += o.point_count;
+    }
+    stats->processing_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+  return frame;
+}
+
+}  // namespace erpd::edge

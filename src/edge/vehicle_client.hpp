@@ -1,0 +1,73 @@
+#pragma once
+// On-vehicle pipeline (paper Fig. 2, left box).
+//
+// Per LiDAR frame a connected vehicle produces an UploadFrame according to
+// the method under evaluation:
+//   - kOursMovingObjects: ground removal + DBSCAN + frame differencing; only
+//     moving-object clouds are uploaded (paper §II-B);
+//   - kEmpVoronoi:        EMP [9] — ground-removed cloud cropped to the
+//     vehicle's Voronoi cell over the connected fleet;
+//   - kUnlimitedRaw:      the whole raw frame.
+//
+// truth_id tagging: the extractor does not know agent identities; the
+// harness attaches them afterwards by nearest-centroid matching against the
+// simulator ground truth, purely so that disseminations can be applied back
+// to driver knowledge and scored. The edge server never reads truth ids.
+
+#include <optional>
+
+#include "geom/voronoi.hpp"
+#include "net/message.hpp"
+#include "pointcloud/moving_extractor.hpp"
+#include "sim/world.hpp"
+
+namespace erpd::edge {
+
+enum class UploadPolicy : std::uint8_t {
+  kOursMovingObjects,
+  kEmpVoronoi,
+  kUnlimitedRaw,
+};
+
+struct ClientConfig {
+  UploadPolicy policy{UploadPolicy::kOursMovingObjects};
+  pc::MovingExtractorConfig extractor{};
+  pc::EncodingConfig encoding{};
+  /// Distance within which an extracted object is matched to a ground-truth
+  /// agent for harness bookkeeping.
+  double truth_match_radius{2.5};
+};
+
+struct ClientFrameStats {
+  std::size_t raw_points{0};
+  std::size_t uploaded_points{0};
+  std::size_t uploaded_bytes{0};
+  /// Wall-clock seconds spent in local processing (the paper's Moving
+  /// Object Extraction runtime).
+  double processing_seconds{0.0};
+};
+
+class VehicleClient {
+ public:
+  VehicleClient(sim::AgentId vehicle, ClientConfig cfg = {});
+
+  sim::AgentId vehicle() const { return vehicle_; }
+
+  /// Run the local pipeline on this frame and build the upload.
+  /// `voronoi` must cover the connected fleet when policy is kEmpVoronoi
+  /// (cell index = position of this vehicle among the sites).
+  net::UploadFrame make_upload(sim::World& world,
+                               const geom::VoronoiPartition* voronoi,
+                               std::size_t voronoi_cell,
+                               ClientFrameStats* stats = nullptr);
+
+ private:
+  sim::AgentId vehicle_;
+  ClientConfig cfg_;
+  pc::MovingObjectExtractor extractor_;
+
+  static sim::AgentId match_truth(const sim::World& world, geom::Vec2 centroid,
+                                  double radius, sim::AgentId self);
+};
+
+}  // namespace erpd::edge

@@ -1,0 +1,49 @@
+#pragma once
+// Axis-aligned bounding box in the plane.
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/vec2.hpp"
+
+namespace erpd::geom {
+
+struct Aabb {
+  Vec2 min{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()};
+  Vec2 max{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+
+  bool empty() const { return min.x > max.x || min.y > max.y; }
+
+  void expand(Vec2 p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  void expand(const Aabb& o) {
+    if (o.empty()) return;
+    expand(o.min);
+    expand(o.max);
+  }
+
+  bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  bool overlaps(const Aabb& o) const {
+    return !(o.min.x > max.x || o.max.x < min.x || o.min.y > max.y ||
+             o.max.y < min.y);
+  }
+
+  Vec2 center() const { return (min + max) * 0.5; }
+  Vec2 extent() const { return max - min; }
+
+  Aabb inflated(double r) const {
+    return Aabb{{min.x - r, min.y - r}, {max.x + r, max.y + r}};
+  }
+};
+
+}  // namespace erpd::geom

@@ -1,0 +1,60 @@
+#pragma once
+// Angle helpers. All angles are radians unless a function name says degrees.
+
+#include <cmath>
+#include <numbers>
+
+namespace erpd::geom {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle into (-pi, pi].
+inline double wrap_angle(double a) {
+  a = std::fmod(a + kPi, kTwoPi);
+  if (a <= 0.0) a += kTwoPi;  // map the seam to +pi, not -pi
+  return a - kPi;
+}
+
+/// Signed smallest difference a-b, in (-pi, pi].
+inline double angle_diff(double a, double b) { return wrap_angle(a - b); }
+
+/// Absolute smallest difference, in [0, pi].
+inline double angle_dist(double a, double b) { return std::abs(angle_diff(a, b)); }
+
+/// Circular mean of headings. Returns 0 for an empty range.
+template <typename It>
+double circular_mean(It first, It last) {
+  double sx = 0.0;
+  double sy = 0.0;
+  bool any = false;
+  for (It it = first; it != last; ++it) {
+    sx += std::cos(*it);
+    sy += std::sin(*it);
+    any = true;
+  }
+  if (!any || (sx == 0.0 && sy == 0.0)) return 0.0;
+  return std::atan2(sy, sx);
+}
+
+/// Circular standard deviation (radians) around the circular mean.
+/// Uses the angular-deviation definition sqrt(mean(angle_dist^2)), which is
+/// what the crowd clusterer thresholds against (paper threshold gamma).
+template <typename It>
+double circular_stddev(It first, It last) {
+  const double mean = circular_mean(first, last);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (It it = first; it != last; ++it) {
+    const double d = angle_diff(*it, mean);
+    acc += d * d;
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+}  // namespace erpd::geom

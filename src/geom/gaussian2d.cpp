@@ -1,0 +1,72 @@
+#include "geom/gaussian2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/angle.hpp"
+
+namespace erpd::geom {
+
+Gaussian2D::Gaussian2D(Vec2 mean, double sigma_x, double sigma_y, double rho)
+    : mean_(mean), sx_(sigma_x), sy_(sigma_y), rho_(rho) {
+  if (sx_ <= 0.0 || sy_ <= 0.0) {
+    throw std::invalid_argument("Gaussian2D: sigma must be positive");
+  }
+  if (rho_ <= -1.0 || rho_ >= 1.0) {
+    throw std::invalid_argument("Gaussian2D: rho must be in (-1, 1)");
+  }
+}
+
+double Gaussian2D::mahalanobis_sq(Vec2 p) const {
+  const double dx = (p.x - mean_.x) / sx_;
+  const double dy = (p.y - mean_.y) / sy_;
+  const double one_m_r2 = 1.0 - rho_ * rho_;
+  return (dx * dx - 2.0 * rho_ * dx * dy + dy * dy) / one_m_r2;
+}
+
+double Gaussian2D::pdf(Vec2 p) const {
+  const double one_m_r2 = 1.0 - rho_ * rho_;
+  const double norm = 1.0 / (kTwoPi * sx_ * sy_ * std::sqrt(one_m_r2));
+  return norm * std::exp(-0.5 * mahalanobis_sq(p));
+}
+
+double Gaussian2D::mass_in_circle(Vec2 center, double radius, int radial_steps,
+                                  int angular_steps) const {
+  if (radius <= 0.0) return 0.0;
+  double acc = 0.0;
+  const double dr = radius / radial_steps;
+  const double da = kTwoPi / angular_steps;
+  for (int i = 0; i < radial_steps; ++i) {
+    const double r = (i + 0.5) * dr;
+    for (int j = 0; j < angular_steps; ++j) {
+      const double a = (j + 0.5) * da;
+      const Vec2 p = center + Vec2::from_heading(a) * r;
+      acc += pdf(p) * r * dr * da;
+    }
+  }
+  return std::min(acc, 1.0);
+}
+
+Vec2 Gaussian2D::sample(std::mt19937_64& rng) const {
+  std::normal_distribution<double> n01(0.0, 1.0);
+  const double u = n01(rng);
+  const double v = n01(rng);
+  // Cholesky of [[sx^2, rho sx sy], [rho sx sy, sy^2]].
+  const double x = sx_ * u;
+  const double y = sy_ * (rho_ * u + std::sqrt(1.0 - rho_ * rho_) * v);
+  return mean_ + Vec2{x, y};
+}
+
+Gaussian2D Gaussian2D::convolved(const Gaussian2D& o) const {
+  const double cxy = rho_ * sx_ * sy_ + o.rho_ * o.sx_ * o.sy_;
+  const double vx = sx_ * sx_ + o.sx_ * o.sx_;
+  const double vy = sy_ * sy_ + o.sy_ * o.sy_;
+  const double sx = std::sqrt(vx);
+  const double sy = std::sqrt(vy);
+  double rho = cxy / (sx * sy);
+  rho = std::clamp(rho, -0.999, 0.999);
+  return Gaussian2D{mean_ + o.mean_, sx, sy, rho};
+}
+
+}  // namespace erpd::geom

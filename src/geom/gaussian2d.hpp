@@ -1,0 +1,51 @@
+#pragma once
+// Bivariate Gaussian distribution.
+//
+// Trajectory predictors (paper refs [24]-[26]) express positional uncertainty
+// as bivariate Gaussians; our predictor does the same and the relevance
+// estimator can weight collision areas by the probability mass inside them.
+
+#include <random>
+
+#include "geom/vec2.hpp"
+
+namespace erpd::geom {
+
+class Gaussian2D {
+ public:
+  /// Standard normal at the origin.
+  Gaussian2D() : Gaussian2D(Vec2{}, 1.0, 1.0, 0.0) {}
+
+  /// Axis-standard deviations and correlation rho in (-1, 1).
+  Gaussian2D(Vec2 mean, double sigma_x, double sigma_y, double rho);
+
+  Vec2 mean() const { return mean_; }
+  double sigma_x() const { return sx_; }
+  double sigma_y() const { return sy_; }
+  double rho() const { return rho_; }
+
+  double pdf(Vec2 p) const;
+
+  /// Squared Mahalanobis distance of p from the mean.
+  double mahalanobis_sq(Vec2 p) const;
+
+  /// Probability mass inside the disk (center, radius), computed by midpoint
+  /// quadrature on a polar grid. Accuracy ~1e-3 with default resolution.
+  double mass_in_circle(Vec2 center, double radius, int radial_steps = 32,
+                        int angular_steps = 48) const;
+
+  /// Draw a sample.
+  Vec2 sample(std::mt19937_64& rng) const;
+
+  /// Convolution with an independent Gaussian (adds covariances); used to
+  /// grow prediction uncertainty over the horizon.
+  Gaussian2D convolved(const Gaussian2D& o) const;
+
+ private:
+  Vec2 mean_{};
+  double sx_{1.0};
+  double sy_{1.0};
+  double rho_{0.0};
+};
+
+}  // namespace erpd::geom

@@ -1,0 +1,103 @@
+#include "geom/mat4.hpp"
+
+#include <cmath>
+
+namespace erpd::geom {
+
+Mat4::Mat4() {
+  m_ = {1, 0, 0, 0,  //
+        0, 1, 0, 0,  //
+        0, 0, 1, 0,  //
+        0, 0, 0, 1};
+}
+
+Mat4 Mat4::translation(Vec3 t) {
+  Mat4 r;
+  r.at(0, 3) = t.x;
+  r.at(1, 3) = t.y;
+  r.at(2, 3) = t.z;
+  return r;
+}
+
+Mat4 Mat4::rotation_z(double yaw) {
+  Mat4 r;
+  const double c = std::cos(yaw);
+  const double s = std::sin(yaw);
+  r.at(0, 0) = c;
+  r.at(0, 1) = -s;
+  r.at(1, 0) = s;
+  r.at(1, 1) = c;
+  return r;
+}
+
+Mat4 Mat4::rotation_y(double pitch) {
+  Mat4 r;
+  const double c = std::cos(pitch);
+  const double s = std::sin(pitch);
+  r.at(0, 0) = c;
+  r.at(0, 2) = s;
+  r.at(2, 0) = -s;
+  r.at(2, 2) = c;
+  return r;
+}
+
+Mat4 Mat4::rotation_x(double roll) {
+  Mat4 r;
+  const double c = std::cos(roll);
+  const double s = std::sin(roll);
+  r.at(1, 1) = c;
+  r.at(1, 2) = -s;
+  r.at(2, 1) = s;
+  r.at(2, 2) = c;
+  return r;
+}
+
+Mat4 Mat4::from_pose(const Pose& pose) {
+  return translation(pose.position) * rotation_z(pose.yaw) *
+         rotation_y(pose.pitch) * rotation_x(pose.roll);
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < 4; ++k) acc += at(i, k) * o.at(k, j);
+      r.at(i, j) = acc;
+    }
+  }
+  return r;
+}
+
+Vec3 Mat4::transform_point(Vec3 p) const {
+  return {at(0, 0) * p.x + at(0, 1) * p.y + at(0, 2) * p.z + at(0, 3),
+          at(1, 0) * p.x + at(1, 1) * p.y + at(1, 2) * p.z + at(1, 3),
+          at(2, 0) * p.x + at(2, 1) * p.y + at(2, 2) * p.z + at(2, 3)};
+}
+
+Vec3 Mat4::transform_direction(Vec3 d) const {
+  return {at(0, 0) * d.x + at(0, 1) * d.y + at(0, 2) * d.z,
+          at(1, 0) * d.x + at(1, 1) * d.y + at(1, 2) * d.z,
+          at(2, 0) * d.x + at(2, 1) * d.y + at(2, 2) * d.z};
+}
+
+Mat4 Mat4::rigid_inverse() const {
+  // For T = [R | t; 0 1], T^-1 = [R^T | -R^T t; 0 1].
+  Mat4 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r.at(i, j) = at(j, i);
+  const Vec3 t{at(0, 3), at(1, 3), at(2, 3)};
+  r.at(0, 3) = -(r.at(0, 0) * t.x + r.at(0, 1) * t.y + r.at(0, 2) * t.z);
+  r.at(1, 3) = -(r.at(1, 0) * t.x + r.at(1, 1) * t.y + r.at(1, 2) * t.z);
+  r.at(2, 3) = -(r.at(2, 0) * t.x + r.at(2, 1) * t.y + r.at(2, 2) * t.z);
+  return r;
+}
+
+bool Mat4::almost_equal(const Mat4& o, double eps) const {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      if (std::abs(at(i, j) - o.at(i, j)) > eps) return false;
+  return true;
+}
+
+}  // namespace erpd::geom

@@ -1,0 +1,59 @@
+#pragma once
+// Oriented bounding box (footprint of a vehicle/pedestrian on the ground
+// plane). The simulator uses OBBs for occlusion ray casting and for exact
+// collision detection between agents.
+
+#include <array>
+
+#include "geom/aabb.hpp"
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+
+namespace erpd::geom {
+
+class Obb {
+ public:
+  Obb() = default;
+  /// `length` along the heading direction, `width` across it.
+  Obb(Vec2 center, double heading, double length, double width);
+
+  Vec2 center() const { return center_; }
+  double heading() const { return heading_; }
+  double length() const { return length_; }
+  double width() const { return width_; }
+
+  /// Corners in CCW order: front-left, rear-left, rear-right, front-right.
+  std::array<Vec2, 4> corners() const;
+
+  /// Edges as segments between consecutive corners.
+  std::array<Segment, 4> edges() const;
+
+  bool contains(Vec2 p) const;
+
+  /// Separating-axis overlap test.
+  bool overlaps(const Obb& o) const;
+
+  /// Minimum distance between the two boxes (0 if overlapping).
+  double distance_to(const Obb& o) const;
+
+  /// Distance from a point to the box boundary (0 if inside).
+  double distance_to(Vec2 p) const;
+
+  /// First intersection parameter t in [0,1] of a ray segment with the box
+  /// boundary, or a negative value if it misses. Hits from inside return 0.
+  double ray_hit(const Segment& ray) const;
+
+  Aabb aabb() const;
+
+  /// The diagonal — the paper's "maximum length of the object" used as the
+  /// collision-area radius is the object's largest planar dimension.
+  double max_extent() const { return std::max(length_, width_); }
+
+ private:
+  Vec2 center_{};
+  double heading_{0.0};
+  double length_{0.0};
+  double width_{0.0};
+};
+
+}  // namespace erpd::geom

@@ -1,0 +1,117 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace erpd::geom {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+std::optional<SegmentIntersection> intersect(const Segment& first,
+                                             const Segment& second) {
+  const Vec2 r = first.direction();
+  const Vec2 s = second.direction();
+  const Vec2 qp = second.a - first.a;
+  const double denom = r.cross(s);
+
+  if (std::abs(denom) < kEps) {
+    // Parallel. Check collinear overlap.
+    if (std::abs(qp.cross(r)) > kEps) return std::nullopt;
+    const double rr = r.dot(r);
+    if (rr < kEps) {
+      // `first` degenerates to a point; intersects if it lies on `second`.
+      double t2 = 0.0;
+      if (point_segment_distance(first.a, second, &t2) < 1e-9) {
+        return SegmentIntersection{first.a, 0.0, t2};
+      }
+      return std::nullopt;
+    }
+    // Project second's endpoints onto first.
+    double t0 = qp.dot(r) / rr;
+    double t1 = (qp + s).dot(r) / rr;
+    if (t0 > t1) std::swap(t0, t1);
+    const double lo = std::max(0.0, t0);
+    const double hi = std::min(1.0, t1);
+    if (lo > hi) return std::nullopt;
+    const Vec2 p = first.point_at(lo);
+    double t2 = 0.0;
+    point_segment_distance(p, second, &t2);
+    return SegmentIntersection{p, lo, t2};
+  }
+
+  const double t = qp.cross(s) / denom;
+  const double u = qp.cross(r) / denom;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) {
+    return std::nullopt;
+  }
+  const double tc = std::clamp(t, 0.0, 1.0);
+  const double uc = std::clamp(u, 0.0, 1.0);
+  return SegmentIntersection{first.point_at(tc), tc, uc};
+}
+
+double point_segment_distance(Vec2 p, const Segment& s, double* t_out) {
+  const Vec2 d = s.direction();
+  const double dd = d.dot(d);
+  double t = 0.0;
+  if (dd > kEps) t = std::clamp((p - s.a).dot(d) / dd, 0.0, 1.0);
+  if (t_out != nullptr) *t_out = t;
+  return distance(p, s.point_at(t));
+}
+
+CircleCrossings segment_circle_crossings(const Segment& s, Vec2 center,
+                                         double radius) {
+  CircleCrossings out;
+  const Vec2 d = s.direction();
+  const Vec2 f = s.a - center;
+  const double a = d.dot(d);
+  if (a < kEps) return out;  // degenerate segment
+  const double b = 2.0 * f.dot(d);
+  const double c = f.dot(f) - radius * radius;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return out;
+  const double sq = std::sqrt(disc);
+  const double t1 = (-b - sq) / (2.0 * a);
+  const double t2 = (-b + sq) / (2.0 * a);
+  for (double t : {t1, t2}) {
+    if (t >= 0.0 && t <= 1.0) {
+      out.t[out.count++] = t;
+    }
+  }
+  return out;
+}
+
+std::optional<IntervalD> segment_in_circle_interval(const Segment& s,
+                                                    Vec2 center,
+                                                    double radius) {
+  const bool a_in = distance_sq(s.a, center) <= radius * radius;
+  const bool b_in = distance_sq(s.b, center) <= radius * radius;
+  const CircleCrossings x = segment_circle_crossings(s, center, radius);
+
+  if (a_in && b_in) return IntervalD{0.0, 1.0};
+  if (a_in) {
+    const double exit = x.count > 0 ? x.t[x.count - 1] : 1.0;
+    return IntervalD{0.0, exit};
+  }
+  if (b_in) {
+    const double enter = x.count > 0 ? x.t[0] : 0.0;
+    return IntervalD{enter, 1.0};
+  }
+  if (x.count == 2) return IntervalD{x.t[0], x.t[1]};
+  return std::nullopt;  // outside, at most tangent
+}
+
+std::optional<IntervalD> interval_overlap(IntervalD a, IntervalD b) {
+  const double lo = std::max(a.lo, b.lo);
+  const double hi = std::min(a.hi, b.hi);
+  if (lo > hi) return std::nullopt;
+  return IntervalD{lo, hi};
+}
+
+double interval_union_length(IntervalD a, IntervalD b) {
+  const auto ov = interval_overlap(a, b);
+  return a.length() + b.length() - (ov ? ov->length() : 0.0);
+}
+
+}  // namespace erpd::geom

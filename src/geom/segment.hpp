@@ -1,0 +1,64 @@
+#pragma once
+// Planar segment primitives: intersection tests and distances.
+//
+// Trajectory intersection (the seed of the paper's collision area) is
+// computed by intersecting predicted path segments; the collision-area math
+// needs segment/circle crossings to find passing intervals.
+
+#include <optional>
+
+#include "geom/vec2.hpp"
+
+namespace erpd::geom {
+
+struct Segment {
+  Vec2 a{};
+  Vec2 b{};
+
+  Vec2 direction() const { return b - a; }
+  double length() const { return (b - a).norm(); }
+  Vec2 point_at(double t) const { return lerp(a, b, t); }
+};
+
+/// Result of a segment-segment intersection: the point plus the normalized
+/// parameters along each segment (both in [0, 1]).
+struct SegmentIntersection {
+  Vec2 point{};
+  double t_first{0.0};
+  double t_second{0.0};
+};
+
+/// Proper/touching intersection of two segments. Collinear overlapping
+/// segments report the first overlapping point of `first`.
+std::optional<SegmentIntersection> intersect(const Segment& first,
+                                             const Segment& second);
+
+/// Distance from point `p` to the segment, and the closest point parameter.
+double point_segment_distance(Vec2 p, const Segment& s, double* t_out = nullptr);
+
+/// Parameters t (ascending, each in [0,1]) where the segment crosses the
+/// circle boundary. 0, 1 or 2 entries.
+struct CircleCrossings {
+  int count{0};
+  double t[2]{0.0, 0.0};
+};
+CircleCrossings segment_circle_crossings(const Segment& s, Vec2 center,
+                                         double radius);
+
+/// The sub-interval [t_enter, t_exit] of the segment (normalized parameters)
+/// that lies inside the closed disk, or nullopt if the segment misses it.
+struct IntervalD {
+  double lo{0.0};
+  double hi{0.0};
+  double length() const { return hi - lo; }
+};
+std::optional<IntervalD> segment_in_circle_interval(const Segment& s,
+                                                    Vec2 center, double radius);
+
+/// Overlap of two closed intervals, or nullopt if disjoint.
+std::optional<IntervalD> interval_overlap(IntervalD a, IntervalD b);
+
+/// |a ∪ b| for closed intervals (sum of lengths minus overlap).
+double interval_union_length(IntervalD a, IntervalD b);
+
+}  // namespace erpd::geom

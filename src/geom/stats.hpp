@@ -1,0 +1,57 @@
+#pragma once
+// Small statistics helpers shared by clustering and the evaluation harness.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace erpd::geom {
+
+/// Arithmetic mean; 0 for empty input.
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Population standard deviation; 0 for empty input.
+inline double stddev(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+inline Vec2 centroid(const std::vector<Vec2>& pts) {
+  Vec2 c{};
+  if (pts.empty()) return c;
+  for (Vec2 p : pts) c += p;
+  return c / static_cast<double>(pts.size());
+}
+
+/// Root-mean-square distance of points from their centroid — the "location
+/// deviation" metric used by the crowd clusterer (paper threshold beta).
+inline double location_stddev(const std::vector<Vec2>& pts) {
+  if (pts.empty()) return 0.0;
+  const Vec2 c = centroid(pts);
+  double acc = 0.0;
+  for (Vec2 p : pts) acc += distance_sq(p, c);
+  return std::sqrt(acc / static_cast<double>(pts.size()));
+}
+
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = std::clamp(p, 0.0, 1.0) * (static_cast<double>(v.size()) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace erpd::geom

@@ -1,0 +1,86 @@
+#pragma once
+// 2-D vector used for planar world coordinates (meters) and directions.
+//
+// The traffic map, trajectories, relevance math and clustering all operate in
+// a planar world frame; Vec2 is the workhorse value type for those layers.
+
+#include <cmath>
+#include <ostream>
+
+namespace erpd::geom {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; >0 means `o` is CCW from *this.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  constexpr double norm_sq() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm_sq()); }
+
+  /// Unit vector in the same direction; returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// CCW rotation by `angle_rad`.
+  Vec2 rotated(double angle_rad) const {
+    const double c = std::cos(angle_rad);
+    const double s = std::sin(angle_rad);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  /// Perpendicular vector (90 degrees CCW).
+  constexpr Vec2 perp() const { return {-y, x}; }
+
+  /// Heading of this vector in radians, in (-pi, pi].
+  double heading() const { return std::atan2(y, x); }
+
+  static Vec2 from_heading(double angle_rad) {
+    return {std::cos(angle_rad), std::sin(angle_rad)};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline double distance_sq(Vec2 a, Vec2 b) { return (a - b).norm_sq(); }
+
+/// Linear interpolation; t=0 -> a, t=1 -> b.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace erpd::geom

@@ -1,0 +1,67 @@
+#pragma once
+// 3-D vector used for LiDAR points (sensor frame and world frame, meters).
+
+#include <cmath>
+#include <ostream>
+
+#include "geom/vec2.hpp"
+
+namespace erpd::geom {
+
+struct Vec3 {
+  double x{0.0};
+  double y{0.0};
+  double z{0.0};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+  constexpr Vec3(Vec2 xy, double z_) : x(xy.x), y(xy.y), z(z_) {}
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(Vec3 o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(Vec3 o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  constexpr double norm_sq() const { return x * x + y * y + z * z; }
+  double norm() const { return std::sqrt(norm_sq()); }
+
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+
+  /// Planar projection; LiDAR points are reduced to the ground plane for the
+  /// traffic map and trajectory math.
+  constexpr Vec2 xy() const { return {x, y}; }
+};
+
+constexpr Vec3 operator*(double s, Vec3 v) { return v * s; }
+
+inline double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
+
+inline std::ostream& operator<<(std::ostream& os, Vec3 v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace erpd::geom

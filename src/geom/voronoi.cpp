@@ -1,0 +1,35 @@
+#include "geom/voronoi.hpp"
+
+#include <limits>
+
+namespace erpd::geom {
+
+VoronoiPartition::VoronoiPartition(std::vector<Vec2> sites)
+    : sites_(std::move(sites)) {}
+
+std::optional<std::size_t> VoronoiPartition::cell_of(Vec2 p) const {
+  if (sites_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const double d = distance_sq(p, sites_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool VoronoiPartition::in_cell(Vec2 p, std::size_t site_index) const {
+  const auto owner = cell_of(p);
+  return owner.has_value() && *owner == site_index;
+}
+
+double VoronoiPartition::distance_to_owner(Vec2 p) const {
+  const auto owner = cell_of(p);
+  if (!owner) return std::numeric_limits<double>::infinity();
+  return distance(p, sites_[*owner]);
+}
+
+}  // namespace erpd::geom

@@ -1,0 +1,41 @@
+#pragma once
+// Nearest-site (Voronoi) partition of the plane.
+//
+// The EMP baseline [9] partitions the road into non-overlapping regions with
+// a Voronoi diagram over the connected vehicles' positions; each vehicle
+// uploads only the points falling in its own cell. Cell membership of a point
+// is exactly the nearest-site query, which is all EMP needs — we therefore
+// expose a partition object rather than an explicit diagram.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace erpd::geom {
+
+class VoronoiPartition {
+ public:
+  VoronoiPartition() = default;
+  explicit VoronoiPartition(std::vector<Vec2> sites);
+
+  std::size_t site_count() const { return sites_.size(); }
+  const std::vector<Vec2>& sites() const { return sites_; }
+
+  /// Index of the cell (site) owning point p, or nullopt if no sites.
+  /// Ties break toward the lowest site index, making the partition exact
+  /// (every point belongs to exactly one cell).
+  std::optional<std::size_t> cell_of(Vec2 p) const;
+
+  /// True iff p lies in the cell of `site_index`.
+  bool in_cell(Vec2 p, std::size_t site_index) const;
+
+  /// Distance from p to its owning site (inf if no sites).
+  double distance_to_owner(Vec2 p) const;
+
+ private:
+  std::vector<Vec2> sites_;
+};
+
+}  // namespace erpd::geom

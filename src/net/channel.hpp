@@ -1,0 +1,94 @@
+#pragma once
+// Bandwidth-constrained wireless channel model.
+//
+// The paper inherits EMP's [9] measured cellular bandwidth: a shared uplink
+// cap and a downlink cap. We model each direction as a per-frame byte budget
+// (capacity x frame interval) plus a latency model for end-to-end timing
+// (Fig. 14): transfer delay = base latency + bytes / bandwidth.
+
+#include <cstddef>
+#include <vector>
+
+namespace erpd::net {
+
+struct WirelessConfig {
+  /// Shared uplink capacity (all vehicles to the edge), Mbit/s.
+  double uplink_mbps{40.0};
+  /// Shared downlink capacity (edge to all vehicles), Mbit/s.
+  double downlink_mbps{80.0};
+  /// LiDAR frame interval (10 Hz sensors).
+  double frame_interval{0.1};
+  /// Propagation + protocol overhead per message, seconds.
+  double base_latency{0.008};
+
+  std::size_t uplink_budget_bytes() const {
+    return static_cast<std::size_t>(uplink_mbps * 1e6 / 8.0 * frame_interval);
+  }
+  std::size_t downlink_budget_bytes() const {
+    return static_cast<std::size_t>(downlink_mbps * 1e6 / 8.0 * frame_interval);
+  }
+};
+
+/// Per-frame byte budget with first-come-first-served granting.
+class FrameBudget {
+ public:
+  explicit FrameBudget(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t remaining() const { return capacity_ - used_; }
+
+  /// True if the whole request fits; grants it atomically.
+  bool try_grant(std::size_t bytes) {
+    if (bytes > remaining()) return false;
+    used_ += bytes;
+    return true;
+  }
+
+  /// Grant as much of the request as fits; returns granted bytes.
+  std::size_t grant_partial(std::size_t bytes) {
+    const std::size_t g = bytes <= remaining() ? bytes : remaining();
+    used_ += g;
+    return g;
+  }
+
+  void reset() { used_ = 0; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_{0};
+};
+
+/// Transfer completion delay for a message of `bytes` over a link of
+/// `mbps`, including base latency.
+double transfer_delay(std::size_t bytes, double mbps, double base_latency);
+
+/// Running bandwidth accounting for the evaluation plots.
+class BandwidthMeter {
+ public:
+  void add(std::size_t bytes) {
+    total_bytes_ += bytes;
+    ++frames_;
+  }
+
+  std::size_t total_bytes() const { return total_bytes_; }
+  std::size_t frames() const { return frames_; }
+
+  /// Average Mbit/s over `elapsed_seconds`.
+  double mbps(double elapsed_seconds) const;
+
+  /// Average bytes per recorded frame.
+  double bytes_per_frame() const;
+
+  void reset() {
+    total_bytes_ = 0;
+    frames_ = 0;
+  }
+
+ private:
+  std::size_t total_bytes_{0};
+  std::size_t frames_{0};
+};
+
+}  // namespace erpd::net

@@ -1,0 +1,66 @@
+#pragma once
+// Wire messages between vehicles and the edge server.
+//
+// Uplink: each connected vehicle sends, per LiDAR frame, its SLAM pose plus
+// the extracted moving-object clouds (already world-frame; the coordinate
+// transform is deterministic given the pose, so carrying world coordinates is
+// equivalent to carrying sensor coordinates + T_lw as the paper describes).
+// Downlink: the edge server sends per-object perception payloads to chosen
+// vehicles, as decided by the dissemination algorithm.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/mat4.hpp"
+#include "geom/vec2.hpp"
+#include "pointcloud/encoding.hpp"
+#include "pointcloud/pointcloud.hpp"
+#include "sim/types.hpp"
+
+namespace erpd::net {
+
+/// One extracted object inside an upload frame.
+struct ObjectUpload {
+  /// True when the uploader segmented this cloud into a single object (Ours);
+  /// false for unsegmented blobs (EMP Voronoi cells, raw frames) that the
+  /// server must detect objects in itself.
+  bool object_granular{false};
+  /// Ground-truth agent this cloud was measured from (used only by the
+  /// simulator harness for scoring; the server never reads it).
+  sim::AgentId truth_id{sim::kInvalidAgent};
+  geom::Vec3 centroid_world{};
+  geom::Vec2 velocity_world{};
+  std::size_t point_count{0};
+  /// Bytes on the wire for this object's cloud (quantized encoding).
+  std::size_t bytes{0};
+  /// Decoded payload, world frame.
+  pc::PointCloud cloud_world;
+};
+
+struct UploadFrame {
+  sim::AgentId vehicle{sim::kInvalidAgent};
+  geom::Pose pose{};
+  double timestamp{0.0};
+  std::vector<ObjectUpload> objects;
+  /// Pose + framing overhead in bytes.
+  static constexpr std::size_t kFrameOverhead = 64;
+
+  std::size_t total_bytes() const {
+    std::size_t n = kFrameOverhead;
+    for (const ObjectUpload& o : objects) n += o.bytes;
+    return n;
+  }
+};
+
+/// One dissemination decision: send object data to a vehicle.
+struct Dissemination {
+  sim::AgentId to{sim::kInvalidAgent};
+  /// Edge-server track id of the object being disseminated.
+  int track_id{-1};
+  /// Ground-truth agent behind the track (harness feedback only).
+  sim::AgentId about{sim::kInvalidAgent};
+  std::size_t bytes{0};
+  double relevance{0.0};
+};
+
+}  // namespace erpd::net

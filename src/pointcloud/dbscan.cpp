@@ -1,0 +1,80 @@
+#include "pointcloud/dbscan.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "pointcloud/voxel_grid.hpp"
+
+namespace erpd::pc {
+
+std::vector<std::size_t> DbscanResult::cluster_indices(
+    std::int32_t cluster) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == cluster) out.push_back(i);
+  }
+  return out;
+}
+
+DbscanResult dbscan(const PointCloud& cloud, const DbscanConfig& cfg) {
+  if (cfg.eps <= 0.0) throw std::invalid_argument("dbscan: eps must be > 0");
+  if (cfg.min_pts == 0) throw std::invalid_argument("dbscan: min_pts must be > 0");
+
+  DbscanResult res;
+  res.labels.assign(cloud.size(), kNoise);
+  if (cloud.empty()) return res;
+
+  const PointGrid grid(cloud, cfg.eps);
+  enum : std::int8_t { kUnvisited = 0, kVisited = 1 };
+  std::vector<std::int8_t> state(cloud.size(), kUnvisited);
+
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    if (state[i] == kVisited) continue;
+    state[i] = kVisited;
+    auto neighbors = grid.radius_neighbors(i, cfg.eps);
+    if (neighbors.size() + 1 < cfg.min_pts) continue;  // not core -> noise (may
+                                                       // be claimed later)
+    const std::int32_t cid = res.cluster_count++;
+    res.labels[i] = cid;
+    std::deque<std::size_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const std::size_t j = frontier.front();
+      frontier.pop_front();
+      if (res.labels[j] == kNoise) res.labels[j] = cid;  // border point claim
+      if (state[j] == kVisited) continue;
+      state[j] = kVisited;
+      res.labels[j] = cid;
+      auto nn = grid.radius_neighbors(j, cfg.eps);
+      if (nn.size() + 1 >= cfg.min_pts) {
+        for (std::size_t k : nn) {
+          if (state[k] == kUnvisited || res.labels[k] == kNoise) {
+            frontier.push_back(k);
+          }
+        }
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<ObjectCluster> extract_clusters(const PointCloud& cloud,
+                                            const DbscanResult& result) {
+  std::vector<ObjectCluster> clusters(
+      static_cast<std::size_t>(result.cluster_count));
+  for (std::size_t i = 0; i < result.labels.size(); ++i) {
+    const std::int32_t l = result.labels[i];
+    if (l == kNoise) continue;
+    ObjectCluster& c = clusters[static_cast<std::size_t>(l)];
+    c.indices.push_back(i);
+    c.centroid += cloud[i];
+    c.footprint.expand(cloud[i].xy());
+  }
+  for (ObjectCluster& c : clusters) {
+    if (!c.indices.empty()) {
+      c.centroid = c.centroid / static_cast<double>(c.indices.size());
+    }
+  }
+  return clusters;
+}
+
+}  // namespace erpd::pc

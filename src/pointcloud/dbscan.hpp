@@ -1,0 +1,50 @@
+#pragma once
+// DBSCAN (Ester et al., KDD'96) over 3-D points, grid-accelerated.
+//
+// The vehicle-side Moving Objects Extraction clusters the non-ground cloud
+// with DBSCAN to segment individual objects (paper §II-B); the same
+// implementation also serves as the pedestrian-clustering baseline that the
+// paper's crowd clusterer is compared against (Fig. 4).
+
+#include <cstdint>
+#include <vector>
+
+#include "pointcloud/pointcloud.hpp"
+
+namespace erpd::pc {
+
+struct DbscanConfig {
+  /// Neighborhood radius (meters).
+  double eps{0.8};
+  /// Minimum neighborhood size (including the point itself) to be a core
+  /// point.
+  std::size_t min_pts{5};
+};
+
+/// Label for points not assigned to any cluster.
+inline constexpr std::int32_t kNoise = -1;
+
+struct DbscanResult {
+  /// Per-point cluster id in [0, cluster_count) or kNoise.
+  std::vector<std::int32_t> labels;
+  std::int32_t cluster_count{0};
+
+  /// Point indices of a given cluster.
+  std::vector<std::size_t> cluster_indices(std::int32_t cluster) const;
+};
+
+DbscanResult dbscan(const PointCloud& cloud, const DbscanConfig& cfg);
+
+/// A segmented object: the cluster's points plus summary geometry.
+struct ObjectCluster {
+  std::vector<std::size_t> indices;
+  geom::Vec3 centroid{};
+  geom::Aabb footprint;  // planar bounds
+  std::size_t point_count() const { return indices.size(); }
+};
+
+/// Materialize per-cluster summaries from a DBSCAN labeling.
+std::vector<ObjectCluster> extract_clusters(const PointCloud& cloud,
+                                            const DbscanResult& result);
+
+}  // namespace erpd::pc

@@ -1,0 +1,122 @@
+#include "pointcloud/encoding.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace erpd::pc {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes =
+    8 /*count*/ + 8 /*resolution*/ + 3 * 8 /*origin*/;
+constexpr std::size_t kBytesPerPoint = 6;  // 3 x uint16 offsets
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double d) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, &d, 8);
+  put_u64(out, v);
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t v = get_u64(p);
+  double d = 0.0;
+  std::memcpy(&d, &v, 8);
+  return d;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+}  // namespace
+
+std::size_t encoded_size_bytes(std::size_t point_count) {
+  return kHeaderBytes + point_count * kBytesPerPoint;
+}
+
+EncodedCloud encode(const PointCloud& cloud, const EncodingConfig& cfg) {
+  if (cfg.resolution <= 0.0) {
+    throw std::invalid_argument("encode: resolution must be > 0");
+  }
+  // Origin = min corner so all offsets are non-negative.
+  geom::Vec3 origin{std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity()};
+  geom::Vec3 hi = -origin;
+  for (const geom::Vec3& p : cloud.points()) {
+    origin.x = std::min(origin.x, p.x);
+    origin.y = std::min(origin.y, p.y);
+    origin.z = std::min(origin.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  if (cloud.empty()) origin = hi = geom::Vec3{};
+
+  const double max_span = cfg.resolution * 65535.0;
+  if (!cloud.empty() && (hi.x - origin.x > max_span || hi.y - origin.y > max_span ||
+                         hi.z - origin.z > max_span)) {
+    throw std::invalid_argument("encode: cloud extent exceeds 16-bit range");
+  }
+
+  EncodedCloud enc;
+  enc.point_count = cloud.size();
+  enc.bytes.reserve(encoded_size_bytes(cloud.size()));
+  put_u64(enc.bytes, cloud.size());
+  put_f64(enc.bytes, cfg.resolution);
+  put_f64(enc.bytes, origin.x);
+  put_f64(enc.bytes, origin.y);
+  put_f64(enc.bytes, origin.z);
+  for (const geom::Vec3& p : cloud.points()) {
+    put_u16(enc.bytes, static_cast<std::uint16_t>(
+                           std::llround((p.x - origin.x) / cfg.resolution)));
+    put_u16(enc.bytes, static_cast<std::uint16_t>(
+                           std::llround((p.y - origin.y) / cfg.resolution)));
+    put_u16(enc.bytes, static_cast<std::uint16_t>(
+                           std::llround((p.z - origin.z) / cfg.resolution)));
+  }
+  return enc;
+}
+
+PointCloud decode(const EncodedCloud& enc) {
+  if (enc.bytes.size() < kHeaderBytes) {
+    throw std::invalid_argument("decode: truncated header");
+  }
+  const std::uint8_t* p = enc.bytes.data();
+  const std::uint64_t count = get_u64(p);
+  const double res = get_f64(p + 8);
+  const geom::Vec3 origin{get_f64(p + 16), get_f64(p + 24), get_f64(p + 32)};
+  if (enc.bytes.size() < kHeaderBytes + count * kBytesPerPoint) {
+    throw std::invalid_argument("decode: truncated payload");
+  }
+  PointCloud out;
+  out.reserve(count);
+  const std::uint8_t* q = p + kHeaderBytes;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const double x = origin.x + res * get_u16(q);
+    const double y = origin.y + res * get_u16(q + 2);
+    const double z = origin.z + res * get_u16(q + 4);
+    out.push_back({x, y, z});
+    q += kBytesPerPoint;
+  }
+  return out;
+}
+
+}  // namespace erpd::pc

@@ -1,0 +1,42 @@
+#pragma once
+// Quantized wire encoding for uploaded/disseminated point clouds.
+//
+// The paper notes the reduced cloud can be compressed further (Draco-style,
+// ref [15]). We implement a simple, exact codec: points are quantized to a
+// fixed resolution inside their bounding box and packed as 16-bit offsets.
+// This gives a realistic bytes-on-the-wire model for the bandwidth
+// experiments (Figs. 12 and 13) while staying fully self-contained.
+
+#include <cstdint>
+#include <vector>
+
+#include "pointcloud/pointcloud.hpp"
+
+namespace erpd::pc {
+
+struct EncodingConfig {
+  /// Quantization resolution in meters. 2 cm keeps object shape intact.
+  double resolution{0.02};
+};
+
+/// Serialized cloud: self-describing byte buffer.
+struct EncodedCloud {
+  std::vector<std::uint8_t> bytes;
+  std::size_t point_count{0};
+
+  std::size_t size_bytes() const { return bytes.size(); }
+};
+
+/// Encode a cloud. Throws std::invalid_argument if the cloud's extent exceeds
+/// what 16-bit offsets can address at the configured resolution (~1.3 km at
+/// 2 cm), which cannot happen for per-object clouds.
+EncodedCloud encode(const PointCloud& cloud, const EncodingConfig& cfg = {});
+
+/// Decode back to points. Lossy only up to the quantization resolution.
+PointCloud decode(const EncodedCloud& enc);
+
+/// Size the encoder would produce without building the buffer (fast path for
+/// schedulers that only need data sizes).
+std::size_t encoded_size_bytes(std::size_t point_count);
+
+}  // namespace erpd::pc

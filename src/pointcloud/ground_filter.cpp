@@ -1,0 +1,22 @@
+#include "pointcloud/ground_filter.hpp"
+
+namespace erpd::pc {
+
+PointCloud remove_ground(const PointCloud& cloud,
+                         const GroundFilterConfig& cfg) {
+  const double cutoff = -cfg.sensor_height + cfg.epsilon;
+  return cloud.filtered(
+      [cutoff](const geom::Vec3& p) { return p.z > cutoff; });
+}
+
+double ground_fraction(const PointCloud& cloud, const GroundFilterConfig& cfg) {
+  if (cloud.empty()) return 0.0;
+  const double cutoff = -cfg.sensor_height + cfg.epsilon;
+  std::size_t ground = 0;
+  for (const geom::Vec3& p : cloud.points()) {
+    if (p.z <= cutoff) ++ground;
+  }
+  return static_cast<double>(ground) / static_cast<double>(cloud.size());
+}
+
+}  // namespace erpd::pc

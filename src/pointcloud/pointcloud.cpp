@@ -1,0 +1,39 @@
+#include "pointcloud/pointcloud.hpp"
+
+namespace erpd::pc {
+
+void PointCloud::append(const PointCloud& other) {
+  points_.insert(points_.end(), other.points_.begin(), other.points_.end());
+}
+
+void PointCloud::transform(const geom::Mat4& t) {
+  for (geom::Vec3& p : points_) p = t.transform_point(p);
+}
+
+PointCloud PointCloud::transformed(const geom::Mat4& t) const {
+  PointCloud out = *this;
+  out.transform(t);
+  return out;
+}
+
+PointCloud PointCloud::subset(std::span<const std::size_t> indices) const {
+  PointCloud out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(points_[i]);
+  return out;
+}
+
+geom::Aabb PointCloud::aabb_xy() const {
+  geom::Aabb box;
+  for (const geom::Vec3& p : points_) box.expand(p.xy());
+  return box;
+}
+
+geom::Vec3 PointCloud::centroid() const {
+  geom::Vec3 c{};
+  if (points_.empty()) return c;
+  for (const geom::Vec3& p : points_) c += p;
+  return c / static_cast<double>(points_.size());
+}
+
+}  // namespace erpd::pc

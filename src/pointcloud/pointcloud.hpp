@@ -1,0 +1,72 @@
+#pragma once
+// Point cloud container.
+//
+// A LiDAR frame is a bag of 3-D points in the sensor frame. The on-vehicle
+// pipeline filters it (ground removal, static-object removal), the uplink
+// encodes it, and the edge server transforms merged clouds into the world
+// frame to build the traffic map.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/mat4.hpp"
+#include "geom/vec3.hpp"
+
+namespace erpd::pc {
+
+/// Bytes per point of the raw sensor format (float32 x/y/z + intensity),
+/// matching the volume model in the paper (~1M points -> 2-3 MB after the
+/// sensor's own packing; see encoding.hpp for the wire format).
+inline constexpr std::size_t kRawBytesPerPoint = 16;
+
+class PointCloud {
+ public:
+  PointCloud() = default;
+  explicit PointCloud(std::vector<geom::Vec3> points)
+      : points_(std::move(points)) {}
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  void reserve(std::size_t n) { points_.reserve(n); }
+  void clear() { points_.clear(); }
+
+  const std::vector<geom::Vec3>& points() const { return points_; }
+  std::vector<geom::Vec3>& points() { return points_; }
+  const geom::Vec3& operator[](std::size_t i) const { return points_[i]; }
+
+  void push_back(geom::Vec3 p) { points_.push_back(p); }
+  void append(const PointCloud& other);
+
+  /// In-place rigid transform of every point (e.g. LiDAR -> world via T_lw).
+  void transform(const geom::Mat4& t);
+  PointCloud transformed(const geom::Mat4& t) const;
+
+  /// Keep only points satisfying the predicate.
+  template <typename Pred>
+  PointCloud filtered(Pred&& pred) const {
+    PointCloud out;
+    out.reserve(points_.size());
+    for (const geom::Vec3& p : points_) {
+      if (pred(p)) out.push_back(p);
+    }
+    return out;
+  }
+
+  /// Subset by index list.
+  PointCloud subset(std::span<const std::size_t> indices) const;
+
+  /// Planar bounding box of the cloud.
+  geom::Aabb aabb_xy() const;
+
+  geom::Vec3 centroid() const;
+
+  /// Size of this cloud in the raw sensor format.
+  std::size_t raw_size_bytes() const { return size() * kRawBytesPerPoint; }
+
+ private:
+  std::vector<geom::Vec3> points_;
+};
+
+}  // namespace erpd::pc

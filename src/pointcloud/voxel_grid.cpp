@@ -1,0 +1,79 @@
+#include "pointcloud/voxel_grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace erpd::pc {
+
+VoxelKey voxel_of(geom::Vec3 p, double voxel_size) {
+  return {static_cast<std::int64_t>(std::floor(p.x / voxel_size)),
+          static_cast<std::int64_t>(std::floor(p.y / voxel_size)),
+          static_cast<std::int64_t>(std::floor(p.z / voxel_size))};
+}
+
+PointCloud voxel_downsample(const PointCloud& cloud, double voxel_size) {
+  if (voxel_size <= 0.0) {
+    throw std::invalid_argument("voxel_downsample: voxel_size must be > 0");
+  }
+  struct Acc {
+    geom::Vec3 sum{};
+    std::size_t n{0};
+  };
+  std::unordered_map<VoxelKey, Acc, VoxelKeyHash> acc;
+  acc.reserve(cloud.size());
+  for (const geom::Vec3& p : cloud.points()) {
+    Acc& a = acc[voxel_of(p, voxel_size)];
+    a.sum += p;
+    ++a.n;
+  }
+  PointCloud out;
+  out.reserve(acc.size());
+  for (const auto& [key, a] : acc) {
+    out.push_back(a.sum / static_cast<double>(a.n));
+  }
+  return out;
+}
+
+PointGrid::PointGrid(const PointCloud& cloud, double cell_size)
+    : cloud_(cloud), cell_(cell_size) {
+  if (cell_size <= 0.0) {
+    throw std::invalid_argument("PointGrid: cell_size must be > 0");
+  }
+  cells_.reserve(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    cells_[voxel_of(cloud[i], cell_)].push_back(i);
+  }
+}
+
+std::vector<std::size_t> PointGrid::radius_neighbors(std::size_t i,
+                                                     double radius) const {
+  std::vector<std::size_t> out = radius_neighbors(cloud_[i], radius);
+  std::erase(out, i);
+  return out;
+}
+
+std::vector<std::size_t> PointGrid::radius_neighbors(geom::Vec3 q,
+                                                     double radius) const {
+  std::vector<std::size_t> out;
+  const double r2 = radius * radius;
+  // Number of cell rings needed to cover the query radius.
+  const std::int64_t rings =
+      static_cast<std::int64_t>(std::ceil(radius / cell_));
+  const VoxelKey c = voxel_of(q, cell_);
+  for (std::int64_t dx = -rings; dx <= rings; ++dx) {
+    for (std::int64_t dy = -rings; dy <= rings; ++dy) {
+      for (std::int64_t dz = -rings; dz <= rings; ++dz) {
+        const auto it = cells_.find({c.x + dx, c.y + dy, c.z + dz});
+        if (it == cells_.end()) continue;
+        for (std::size_t idx : it->second) {
+          if ((cloud_[idx] - q).norm_sq() <= r2) {
+            out.push_back(idx);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace erpd::pc

@@ -1,0 +1,56 @@
+#pragma once
+// Voxel-grid downsampling: one representative (centroid) per occupied voxel.
+// Used both as a data reduction stage and as the spatial index feeding DBSCAN.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pointcloud/pointcloud.hpp"
+
+namespace erpd::pc {
+
+/// Integer voxel coordinate.
+struct VoxelKey {
+  std::int64_t x{0};
+  std::int64_t y{0};
+  std::int64_t z{0};
+  bool operator==(const VoxelKey&) const = default;
+};
+
+struct VoxelKeyHash {
+  std::size_t operator()(const VoxelKey& k) const {
+    // FNV-style mix of the three packed coordinates.
+    std::size_t h = 1469598103934665603ull;
+    for (std::int64_t v : {k.x, k.y, k.z}) {
+      h ^= static_cast<std::size_t>(v);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+VoxelKey voxel_of(geom::Vec3 p, double voxel_size);
+
+/// Downsample: centroid of the points in each occupied voxel.
+PointCloud voxel_downsample(const PointCloud& cloud, double voxel_size);
+
+/// Spatial hash over points, supporting radius queries. Bucket size should be
+/// >= the query radius for single-ring lookups (enforced by radius_neighbors).
+class PointGrid {
+ public:
+  PointGrid(const PointCloud& cloud, double cell_size);
+
+  /// Indices of points within `radius` of cloud[i] (excluding i itself).
+  std::vector<std::size_t> radius_neighbors(std::size_t i, double radius) const;
+
+  /// Indices of points within `radius` of an arbitrary query point.
+  std::vector<std::size_t> radius_neighbors(geom::Vec3 q, double radius) const;
+
+ private:
+  const PointCloud& cloud_;
+  double cell_;
+  std::unordered_map<VoxelKey, std::vector<std::size_t>, VoxelKeyHash> cells_;
+};
+
+}  // namespace erpd::pc

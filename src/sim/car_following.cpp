@@ -1,0 +1,53 @@
+#include "sim/car_following.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/types.hpp"
+
+namespace erpd::sim {
+
+double PipesModel::safe_distance(double v) const {
+  const double v_mph = ms_to_mph(std::max(v, 0.0));
+  return std::max(min_gap, car_length * v_mph / 10.0);
+}
+
+bool GippsModel::compliant(double gap, double follower_speed) const {
+  if (follower_speed <= 0.1) return gap >= standstill_gap;
+  return gap / follower_speed >= safe_time_gap();
+}
+
+double GippsModel::next_speed(double v_f, double v_l, double gap) const {
+  const double theta = reaction_time;
+  // Acceleration branch.
+  const double ratio = std::clamp(v_f / desired_speed, 0.0, 1.0);
+  const double v_acc =
+      v_f + 2.5 * max_accel * theta * (1.0 - ratio) * std::sqrt(0.025 + ratio);
+
+  // Braking branch (safe speed such that the follower can stop behind the
+  // leader even if the leader brakes at leader_braking).
+  double v_brk = std::numeric_limits<double>::infinity();
+  if (std::isfinite(gap)) {
+    const double b = braking;
+    const double s = std::max(gap - standstill_gap, 0.0);
+    const double disc =
+        b * b * theta * theta + b * (2.0 * s - v_f * theta + v_l * v_l / leader_braking);
+    v_brk = disc >= 0.0 ? -b * theta + std::sqrt(disc) : 0.0;
+  }
+  return std::max(0.0, std::min({v_acc, v_brk, desired_speed}));
+}
+
+double IdmModel::acceleration(double v, double v_leader, double gap) const {
+  const double free_term =
+      1.0 - std::pow(std::max(v, 0.0) / desired_speed, accel_exponent);
+  if (!std::isfinite(gap)) return max_accel * free_term;
+
+  const double dv = v - v_leader;
+  const double s_star =
+      min_gap + std::max(0.0, v * time_headway +
+                                  v * dv / (2.0 * std::sqrt(max_accel * comfort_decel)));
+  const double s = std::max(gap, 0.1);
+  return max_accel * (free_term - (s_star / s) * (s_star / s));
+}
+
+}  // namespace erpd::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Car-following models.
+//
+// The simulator drives background vehicles with IDM (a standard microscopic
+// controller, standing in for CARLA's default agent). The relevance
+// estimator uses Pipes' rule [36] and the Gipps time-gap criterion [37] to
+// decide whether a *follower* is safe behind its leader (paper §III-A.2):
+// a follower violating both criteria inherits alpha x the leader's relevance.
+
+#include <limits>
+
+namespace erpd::sim {
+
+/// Pipes' rule (1953): keep one car length per 10 mph of follower speed.
+struct PipesModel {
+  /// Nominal car length used by the rule (paper: 4-5 m).
+  double car_length{4.5};
+  /// Minimum standstill clearance.
+  double min_gap{2.0};
+
+  /// Required bumper-to-bumper distance at follower speed `v` (m/s).
+  double safe_distance(double v) const;
+
+  /// True if the follower keeps at least the Pipes distance.
+  bool compliant(double gap, double follower_speed) const {
+    return gap >= safe_distance(follower_speed);
+  }
+};
+
+/// Gipps (1981) behavioural model. `next_speed` implements the full two-term
+/// law; `compliant` implements the paper's simplified criterion that the
+/// time gap must be at least 1.5x the driver reaction time.
+struct GippsModel {
+  double max_accel{1.7};        // a   (m/s^2)
+  double braking{3.0};          // b   (>0, own comfortable braking, m/s^2)
+  double leader_braking{3.0};   // b^  (estimate of leader braking, m/s^2)
+  double desired_speed{13.9};   // V   (m/s)
+  double reaction_time{1.0};    // theta (s); human average ~1 s
+  double standstill_gap{2.0};   // s0  (m), effective leader size margin
+
+  /// Required minimum time gap = 1.5 * reaction_time (paper §III-A.2).
+  double safe_time_gap() const { return 1.5 * reaction_time; }
+
+  /// True if gap / v_f meets the safe time gap (always true at standstill).
+  bool compliant(double gap, double follower_speed) const;
+
+  /// Speed after one reaction-time step given the leader state.
+  /// `gap` is bumper-to-bumper distance; pass +inf / any speed when free.
+  double next_speed(double v_follower, double v_leader, double gap) const;
+};
+
+/// Intelligent Driver Model — used as the default longitudinal controller.
+struct IdmModel {
+  double desired_speed{13.9};   // v0 (m/s)
+  double time_headway{1.2};     // T  (s)
+  double max_accel{2.0};        // a  (m/s^2)
+  double comfort_decel{2.5};    // b  (m/s^2)
+  double min_gap{2.0};          // s0 (m)
+  double accel_exponent{4.0};   // delta
+
+  /// Acceleration for the follower; pass gap = +inf for a free road.
+  double acceleration(double v, double v_leader, double gap) const;
+
+  static constexpr double free_road() {
+    return std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace erpd::sim

@@ -1,0 +1,153 @@
+#include "sim/lidar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angle.hpp"
+
+namespace erpd::sim {
+
+using geom::Vec2;
+using geom::Vec3;
+
+LidarSensor::LidarSensor(LidarConfig cfg) : cfg_(cfg) {
+  elevations_.reserve(static_cast<std::size_t>(cfg_.channels));
+  const double lo = geom::deg_to_rad(cfg_.vertical_fov_min_deg);
+  const double hi = geom::deg_to_rad(cfg_.vertical_fov_max_deg);
+  for (int c = 0; c < cfg_.channels; ++c) {
+    const double t =
+        cfg_.channels == 1 ? 0.5 : static_cast<double>(c) / (cfg_.channels - 1);
+    elevations_.push_back(lo + t * (hi - lo));
+  }
+}
+
+namespace {
+
+/// Azimuth interval (possibly wrapping) that a target subtends from the eye.
+struct AngularSpan {
+  double center{0.0};
+  double half_width{0.0};
+  bool covers(double azimuth) const {
+    return geom::angle_dist(azimuth, center) <= half_width;
+  }
+};
+
+AngularSpan subtended(Vec2 eye, const geom::Obb& box) {
+  const Vec2 d = box.center() - eye;
+  const double dist = d.norm();
+  const double radius =
+      0.5 * std::hypot(box.length(), box.width());  // circumscribed circle
+  AngularSpan span;
+  span.center = d.heading();
+  if (dist <= radius) {
+    span.half_width = geom::kPi;  // eye inside the circumcircle: all azimuths
+  } else {
+    span.half_width = std::asin(std::min(1.0, radius / dist)) + 1e-3;
+  }
+  return span;
+}
+
+}  // namespace
+
+LidarScan LidarSensor::scan(const geom::Pose& pose,
+                            std::span<const LidarTarget> targets,
+                            std::mt19937_64& rng) const {
+  LidarScan out;
+  out.cloud.reserve(cfg_.max_points() / 4);
+  std::normal_distribution<double> noise(0.0, cfg_.noise_sigma);
+
+  const Vec2 eye = pose.position.xy();
+  const double sensor_z = pose.position.z;
+  const int n_az = cfg_.azimuth_count();
+  const double az_step = geom::kTwoPi / n_az;
+
+  // Angular culling: precompute each target's subtended span.
+  struct Candidate {
+    const LidarTarget* target;
+    AngularSpan span;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(targets.size());
+  for (const LidarTarget& t : targets) {
+    const double d = (t.footprint.center() - eye).norm();
+    if (d - t.footprint.max_extent() > cfg_.max_range) continue;
+    candidates.push_back({&t, subtended(eye, t.footprint)});
+  }
+
+  struct Hit {
+    double dist;
+    const LidarTarget* target;
+  };
+  std::vector<Hit> hits;
+
+  for (int ia = 0; ia < n_az; ++ia) {
+    const double az_world = -geom::kPi + ia * az_step;
+    const Vec2 dir = Vec2::from_heading(az_world);
+    const geom::Segment ray{eye, eye + dir * cfg_.max_range};
+
+    // All obstructions along this azimuth, nearest first.
+    hits.clear();
+    for (const Candidate& c : candidates) {
+      if (!c.span.covers(az_world)) continue;
+      const double t = c.target->footprint.ray_hit(ray);
+      if (t >= 0.0) hits.push_back({t * cfg_.max_range, c.target});
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const Hit& a, const Hit& b) { return a.dist < b.dist; });
+
+    for (double elev : elevations_) {
+      const double tan_e = std::tan(elev);
+      // First prism whose vertical extent intersects the beam.
+      const LidarTarget* struck = nullptr;
+      double struck_dist = 0.0;
+      for (const Hit& h : hits) {
+        const double z = sensor_z + h.dist * tan_e;
+        if (z >= h.target->base_z && z <= h.target->base_z + h.target->height) {
+          struck = h.target;
+          struck_dist = h.dist;
+          break;
+        }
+      }
+      if (struck != nullptr) {
+        const double d =
+            struck_dist + (cfg_.noise_sigma > 0 ? noise(rng) : 0.0);
+        const Vec2 pxy = eye + dir * d;
+        out.cloud.push_back(Vec3{pxy, sensor_z + struck_dist * tan_e});
+        if (struck->id >= 0) {
+          ++out.points_per_agent[struck->id];
+        } else {
+          ++out.static_points;
+        }
+        continue;
+      }
+      // No prism in the way; downward beams reach the ground.
+      if (tan_e < 0.0) {
+        const double ground_d = -sensor_z / tan_e;
+        if (ground_d <= cfg_.max_range) {
+          const double d = ground_d + (cfg_.noise_sigma > 0 ? noise(rng) : 0.0);
+          const Vec2 pxy = eye + dir * d;
+          out.cloud.push_back(Vec3{pxy, 0.0});
+          ++out.ground_points;
+        }
+      }
+    }
+  }
+
+  // Convert world-frame returns into the sensor frame (the uplink operates
+  // on sensor-frame clouds plus the pose, as in the paper).
+  const geom::Mat4 t_wl = geom::Mat4::from_pose(pose).rigid_inverse();
+  out.cloud.transform(t_wl);
+  return out;
+}
+
+bool line_of_sight(Vec2 eye, Vec2 target_point,
+                   std::span<const geom::Obb> occluders) {
+  const geom::Segment seg{eye, target_point};
+  for (const geom::Obb& box : occluders) {
+    const double t = box.ray_hit(seg);
+    if (t >= 0.0 && t < 1.0) return false;
+  }
+  return true;
+}
+
+}  // namespace erpd::sim

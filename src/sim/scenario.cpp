@@ -1,0 +1,464 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/angle.hpp"
+
+namespace erpd::sim {
+
+using geom::Obb;
+using geom::Polyline;
+using geom::Vec2;
+
+namespace {
+
+VehicleParams car_params(double speed_ms, bool connected) {
+  VehicleParams p;
+  p.kind = AgentKind::kCar;
+  p.dims = default_dims(AgentKind::kCar);
+  p.idm.desired_speed = speed_ms;
+  p.connected = connected;
+  return p;
+}
+
+VehicleParams parked_truck_params(double length = 8.5) {
+  VehicleParams p;
+  p.kind = AgentKind::kTruck;
+  p.dims = default_dims(AgentKind::kTruck);
+  p.dims.length = length;
+  p.parked = true;
+  return p;
+}
+
+/// Place the four corner buildings that bound sight lines at an urban
+/// intersection (without them the open plane would give every driver
+/// unlimited diagonal visibility, which no real intersection has).
+void add_corner_buildings(World& world) {
+  const double half = world.network().box_half();
+  const double building_half = 10.0;
+  const double d = half + 5.0 + building_half;  // sidewalk corridor in front
+  for (double sx : {-1.0, 1.0}) {
+    for (double sy : {-1.0, 1.0}) {
+      world.add_static_obstacle(
+          Obb{{sx * d, sy * d}, 0.0, 2.0 * building_half, 2.0 * building_half},
+          10.0);
+    }
+  }
+}
+
+/// Street-front building walls flanking every arm (CARLA towns are dense
+/// urban canyons; the static facades dominate raw LiDAR returns, which is
+/// what makes the EMP/Unlimited uploads so much heavier than moving-object
+/// extraction).
+void add_street_walls(World& world) {
+  const RoadNetwork& net = world.network();
+  const double road_half =
+      net.config().lanes_per_direction * net.config().lane_width;
+  const double lateral = road_half + 6.5;
+  for (int a = 0; a < kArmCount; ++a) {
+    const Vec2 u = RoadNetwork::arm_direction(static_cast<Arm>(a));
+    const Vec2 perp = u.perp();
+    for (double side : {-1.0, 1.0}) {
+      const double start = net.box_half() + 16.0;
+      const double len = 55.0;
+      const Vec2 center = u * (start + len * 0.5) + perp * (side * lateral);
+      world.add_static_obstacle(Obb{center, u.heading(), len, 2.0}, 8.0);
+    }
+  }
+}
+
+/// Cars parked along the curb of every arm. They are exactly the static
+/// clutter that the paper's Moving Objects Extraction discards while
+/// EMP/Unlimited keep uploading it (the waiting trucks of Fig. 9b,
+/// generalized).
+void add_parked_cars(World& world, std::mt19937_64& rng) {
+  const RoadNetwork& net = world.network();
+  const double road_half =
+      net.config().lanes_per_direction * net.config().lane_width;
+  const double curb = road_half + 1.6;
+  std::uniform_real_distribution<double> jitter(-1.5, 1.5);
+  std::bernoulli_distribution keep(0.75);
+  const BodyDims dims = default_dims(AgentKind::kCar);
+  for (int a = 0; a < kArmCount; ++a) {
+    const Vec2 u = RoadNetwork::arm_direction(static_cast<Arm>(a));
+    const Vec2 perp = u.perp();
+    for (double side : {-1.0, 1.0}) {
+      for (double dist = net.box_half() + 14.0; dist < 65.0; dist += 9.0) {
+        if (!keep(rng)) continue;
+        const Vec2 pos = u * (dist + jitter(rng)) + perp * (side * curb);
+        world.add_static_obstacle(
+            Obb{pos, u.heading(), dims.length, dims.width}, dims.height);
+      }
+    }
+  }
+}
+
+bool spot_free(const World& world, Vec2 pos, double clearance = 12.0) {
+  for (const Vehicle& v : world.vehicles()) {
+    if (distance(v.position(world.network()), pos) < clearance) return false;
+  }
+  return true;
+}
+
+/// Fill the approaches with background traffic until `total` vehicles exist.
+/// `max_s` optionally caps the spawn arc length per (arm, lane) so that
+/// background cars stay behind scripted ones.
+void add_background_traffic(World& world, const ScenarioConfig& cfg,
+                            std::mt19937_64& rng,
+                            const std::vector<std::pair<LaneRef, double>>& max_s) {
+  const RoadNetwork& net = world.network();
+  const double speed = kmh_to_ms(cfg.speed_kmh);
+  std::bernoulli_distribution connected(cfg.connected_fraction);
+  std::uniform_real_distribution<double> jitter(0.0, 4.0);
+  std::uniform_int_distribution<int> maneuver_pick(0, 2);
+
+  int rank = 0;
+  int safety = 0;
+  while (static_cast<int>(world.vehicles().size()) < cfg.total_vehicles &&
+         safety++ < 1000) {
+    for (int a = 0; a < kArmCount &&
+                    static_cast<int>(world.vehicles().size()) < cfg.total_vehicles;
+         ++a) {
+      const Arm arm = static_cast<Arm>(a);
+      for (int lane = 0; lane < net.config().lanes_per_direction &&
+                         static_cast<int>(world.vehicles().size()) <
+                             cfg.total_vehicles;
+           ++lane) {
+        // Pick a maneuver this lane permits.
+        std::optional<int> route_id;
+        for (int attempt = 0; attempt < 4 && !route_id; ++attempt) {
+          route_id = net.find_route(
+              arm, lane, static_cast<Maneuver>(maneuver_pick(rng) % 3));
+        }
+        if (!route_id) route_id = net.find_route(arm, lane, Maneuver::kStraight);
+        if (!route_id) continue;
+        const Route& route = net.route(*route_id);
+
+        double s = route.stop_line_s - 14.0 - rank * 13.0 - jitter(rng);
+        for (const auto& [lr, cap] : max_s) {
+          if (lr == LaneRef{arm, lane}) s = std::min(s, cap - rank * 13.0);
+        }
+        if (s < 4.0) continue;
+        const Vec2 pos = route.path.point_at(s);
+        if (!spot_free(world, pos)) continue;
+
+        // Queued vehicles at a red light start stopped; flowing ones cruise.
+        const bool green =
+            world.signals().state(arm, 0.0) == SignalController::Light::kGreen;
+        const double v0 = green ? speed : 0.0;
+        world.add_vehicle(car_params(speed, connected(rng)), *route_id, s, v0);
+      }
+    }
+    ++rank;
+  }
+}
+
+/// Background pedestrians walk the sidewalks parallel to the arms (between
+/// the curb parking and the buildings). They load the perception pipeline —
+/// uploads, tracking, Rule-3 clustering — without entering the roadway, so
+/// they never interfere with the scripted conflict.
+void add_background_pedestrians(World& world, const ScenarioConfig& cfg,
+                                std::mt19937_64& rng, Arm skip_arm) {
+  const RoadNetwork& net = world.network();
+  const double road_half =
+      net.config().lanes_per_direction * net.config().lane_width;
+  const double sidewalk = road_half + 3.8;
+  std::uniform_int_distribution<int> arm_pick(0, kArmCount - 1);
+  std::bernoulli_distribution reverse(0.5);
+  std::bernoulli_distribution east_side(0.5);
+  std::uniform_real_distribution<double> speed(1.1, 1.6);
+  std::uniform_real_distribution<double> start_dist(12.0, 45.0);
+  int placed = 0;
+  int safety = 0;
+  while (placed < cfg.pedestrians && safety++ < 200) {
+    const Arm arm = static_cast<Arm>(arm_pick(rng));
+    if (arm == skip_arm) continue;  // keep the scripted area clear
+    const Vec2 u = RoadNetwork::arm_direction(arm);
+    const Vec2 perp = u.perp() * (east_side(rng) ? 1.0 : -1.0);
+    Vec2 a = u * start_dist(rng) + perp * sidewalk;
+    Vec2 b = u * 70.0 + perp * sidewalk;
+    if (reverse(rng)) std::swap(a, b);
+    PedestrianParams pp;
+    pp.walk_speed = speed(rng);
+    world.add_pedestrian(pp, Polyline{{a, b}}, 0.0);
+    ++placed;
+  }
+}
+
+World make_world(const ScenarioConfig& cfg) {
+  WorldConfig wc = cfg.world;
+  wc.seed = cfg.seed;
+  // The scripted conflicts play out in the first ~15 s; keep the main axis
+  // green throughout so the signal never preempts the experiment.
+  wc.signal.green = std::max(wc.signal.green, 40.0);
+  return World{RoadNetwork{cfg.road}, wc};
+}
+
+}  // namespace
+
+Scenario make_unprotected_left_turn(const ScenarioConfig& cfg) {
+  Scenario sc{make_world(cfg), kInvalidAgent, kInvalidAgent, {}, kInvalidAgent};
+  World& world = sc.world;
+  const RoadNetwork& net = world.network();
+  const double speed = kmh_to_ms(cfg.speed_kmh);
+  std::mt19937_64 rng(cfg.seed * 7919 + 13);
+
+  add_corner_buildings(world);
+  add_street_walls(world);
+  add_parked_cars(world, rng);
+
+  const int ego_route = *net.find_route(Arm::kSouth, 0, Maneuver::kLeft);
+  const int threat_route = *net.find_route(Arm::kNorth, 1, Maneuver::kStraight);
+
+  // Auto-calibrate: both reach the crossing point simultaneously.
+  const auto crossing =
+      net.route(ego_route).path.first_crossing(net.route(threat_route).path);
+  if (!crossing) throw std::logic_error("left-turn routes do not cross");
+  const double travel = speed * cfg.time_to_conflict;
+  const double ego_s = std::max(crossing->s_this - travel, 4.0);
+  const double threat_s = std::max(crossing->s_other - travel, 4.0);
+
+  VehicleParams ego_params = car_params(speed, /*connected=*/true);
+  ego_params.attentive = false;  // saved only by dissemination
+  sc.ego = world.add_vehicle(ego_params, ego_route, ego_s, speed);
+
+  std::bernoulli_distribution conn(cfg.connected_fraction);
+  VehicleParams threat_params = car_params(speed, conn(rng));
+  threat_params.attentive = false;
+  sc.threat =
+      world.add_vehicle(threat_params, threat_route, threat_s, speed);
+
+  // A connected observer following the threat: it perceives the threat the
+  // whole way (paper Fig. 8: "other vehicles, such as E, can capture p and
+  // upload it to the edge server").
+  if (threat_s - 20.0 > 4.0) {
+    world.add_vehicle(car_params(speed, /*connected=*/true), threat_route,
+                      threat_s - 20.0, speed);
+  }
+
+  // Occluder: box truck waiting inside the intersection to turn left from the
+  // opposite (northern) left lane — the classic Fig. 1 "truck D".
+  {
+    const int truck_route = *net.find_route(Arm::kNorth, 0, Maneuver::kLeft);
+    const Route& tr = net.route(truck_route);
+    // Stopped just past its stop line, nose into the box, waiting for a gap.
+    double wait_s = tr.stop_line_s + 6.5;
+    VehicleParams tp = parked_truck_params(6.5);
+    sc.occluders.push_back(world.add_vehicle(tp, truck_route, wait_s, 0.0));
+  }
+
+  // Tailgating platoon follower behind the ego (for the follower ablation).
+  {
+    VehicleParams fp = car_params(speed, /*connected=*/true);
+    fp.attentive = false;
+    const double gap = cfg.follower_gap;
+    if (ego_s - gap > 4.0) {
+      sc.ego_follower =
+          world.add_vehicle(fp, ego_route, ego_s - gap, speed);
+    }
+  }
+
+  // Keep conflicting lanes clear ahead of the scripted pair.
+  const std::vector<std::pair<LaneRef, double>> caps = {
+      {{Arm::kSouth, 0}, ego_s - 18.0},
+      {{Arm::kNorth, 1}, threat_s - 18.0},
+      {{Arm::kNorth, 0}, net.route(ego_route).stop_line_s - 20.0},
+  };
+  add_background_traffic(world, cfg, rng, caps);
+  add_background_pedestrians(world, cfg, rng, Arm::kSouth);
+  return sc;
+}
+
+Scenario make_red_light_violation(const ScenarioConfig& cfg) {
+  Scenario sc{make_world(cfg), kInvalidAgent, kInvalidAgent, {}, kInvalidAgent};
+  World& world = sc.world;
+  const RoadNetwork& net = world.network();
+  const double speed = kmh_to_ms(cfg.speed_kmh);
+  std::mt19937_64 rng(cfg.seed * 104729 + 17);
+
+  add_corner_buildings(world);
+  add_street_walls(world);
+  add_parked_cars(world, rng);
+
+  // Ego goes straight north on green; violator runs the red from the west.
+  const int ego_route = *net.find_route(Arm::kSouth, 1, Maneuver::kStraight);
+  const int violator_route =
+      *net.find_route(Arm::kWest, 0, Maneuver::kStraight);
+
+  const auto crossing =
+      net.route(ego_route).path.first_crossing(net.route(violator_route).path);
+  if (!crossing) throw std::logic_error("red-light routes do not cross");
+  const double travel = speed * cfg.time_to_conflict;
+  const double ego_s = std::max(crossing->s_this - travel, 4.0);
+  double violator_s = std::max(crossing->s_other - travel, 4.0);
+
+  VehicleParams ego_params = car_params(speed, /*connected=*/true);
+  ego_params.attentive = false;  // saved only by dissemination
+  sc.ego = world.add_vehicle(ego_params, ego_route, ego_s, speed);
+
+  VehicleParams vio = car_params(speed, /*connected=*/false);
+  vio.runs_red_light = true;
+  vio.attentive = false;
+  sc.threat = world.add_vehicle(vio, violator_route, violator_s, speed);
+
+  // Connected observer trailing the violator (it will stop at the red light
+  // itself, but keeps the violator in view and uploads it).
+  if (violator_s - 20.0 > 4.0) {
+    world.add_vehicle(car_params(speed, /*connected=*/true), violator_route,
+                      violator_s - 20.0, speed);
+  }
+
+  // Occluders: trucks queued at the red light on the west arm's right-turn
+  // lane, blocking the diagonal sight line between ego and violator.
+  {
+    const int truck_route = *net.find_route(
+        Arm::kWest, net.config().lanes_per_direction - 1, Maneuver::kRight);
+    const Route& tr = net.route(truck_route);
+    for (int k = 0; k < 2; ++k) {
+      VehicleParams tp = parked_truck_params(8.5);
+      const double s = tr.stop_line_s - 4.5 - k * 10.5;
+      sc.occluders.push_back(world.add_vehicle(tp, truck_route, s, 0.0));
+    }
+  }
+
+  // Platoon follower behind the ego.
+  {
+    VehicleParams fp = car_params(speed, /*connected=*/true);
+    fp.attentive = false;
+    const double gap = cfg.follower_gap;
+    if (ego_s - gap > 4.0) {
+      sc.ego_follower = world.add_vehicle(fp, ego_route, ego_s - gap, speed);
+    }
+  }
+
+  const std::vector<std::pair<LaneRef, double>> caps = {
+      {{Arm::kSouth, 1}, ego_s - 18.0},
+      // Keep the adjacent left-turn lane behind the ego too: a background
+      // left-turner yielding mid-box would otherwise shield the ego from the
+      // scripted conflict.
+      {{Arm::kSouth, 0}, ego_s - 18.0},
+      {{Arm::kWest, 0}, violator_s - 18.0},
+      // Oncoming (southbound) traffic held far back so the scripted conflict
+      // resolves first.
+      {{Arm::kNorth, 0}, net.route(ego_route).stop_line_s - 60.0},
+      {{Arm::kNorth, 1}, net.route(ego_route).stop_line_s - 60.0},
+  };
+  add_background_traffic(world, cfg, rng, caps);
+  add_background_pedestrians(world, cfg, rng, Arm::kWest);
+  return sc;
+}
+
+Scenario make_occluded_pedestrian(const ScenarioConfig& cfg) {
+  Scenario sc{make_world(cfg), kInvalidAgent, kInvalidAgent, {}, kInvalidAgent};
+  World& world = sc.world;
+  const RoadNetwork& net = world.network();
+  const double speed = kmh_to_ms(cfg.speed_kmh);
+  std::mt19937_64 rng(cfg.seed * 6151 + 29);
+
+  add_corner_buildings(world);
+  add_street_walls(world);
+  add_parked_cars(world, rng);
+
+  const int ego_route = *net.find_route(Arm::kSouth, 1, Maneuver::kStraight);
+  const Route& er = net.route(ego_route);
+
+  // Pedestrian crossing the south crosswalk from east to west, stepping out
+  // from behind a truck parked on the east shoulder of the south arm.
+  Polyline cw = net.crosswalk(Arm::kSouth).path;
+  {
+    // Crosswalk is built west->east; reverse so the pedestrian walks
+    // east->west, and extend the start 4 m onto the sidewalk so the walk
+    // toward the ego lane takes several seconds (time for the edge pipeline
+    // to detect, score and disseminate).
+    std::vector<Vec2> pts;
+    const Vec2 east_end = cw.points().back();
+    const Vec2 dir = (cw.points().front() - east_end).normalized();
+    pts.push_back(east_end - dir * 4.0);
+    for (auto it = cw.points().rbegin(); it != cw.points().rend(); ++it) {
+      pts.push_back(*it);
+    }
+    cw = Polyline{std::move(pts)};
+  }
+  PedestrianParams pp;
+  pp.walk_speed = 1.4;
+
+  // Where does the pedestrian cross the ego lane?
+  const auto crossing = er.path.first_crossing(cw);
+  if (!crossing) throw std::logic_error("pedestrian path does not cross ego lane");
+  const double t_walk = crossing->s_other / pp.walk_speed;
+  const double ego_s =
+      std::max(crossing->s_this - speed * t_walk, 4.0);
+
+  VehicleParams ego_params = car_params(speed, /*connected=*/true);
+  ego_params.attentive = false;  // saved only by dissemination
+  sc.ego = world.add_vehicle(ego_params, ego_route, ego_s, speed);
+  sc.threat = world.add_pedestrian(pp, cw, 0.0);
+
+  // Parked truck on the shoulder east of the ego lane, just south of the
+  // crosswalk — hides the pedestrian from the approaching ego.
+  {
+    const double road_half =
+        net.config().lanes_per_direction * net.config().lane_width;
+    const double shoulder_x = road_half + 1.6;
+    const double truck_len = 8.5;
+    const double y_center = -(net.box_half() + cfg.road.crosswalk_offset +
+                              1.5 + truck_len * 0.5);
+    world.add_static_obstacle(
+        Obb{{shoulder_x, y_center}, geom::kPi / 2.0, truck_len, 2.5}, 3.4);
+  }
+
+  // A connected observer on the opposite approach that can see the pedestrian
+  // (the "vehicle E" of Fig. 8a).
+  {
+    const int obs_route = *net.find_route(Arm::kNorth, 1, Maneuver::kStraight);
+    const Route& obr = net.route(obs_route);
+    world.add_vehicle(car_params(speed * 0.8, /*connected=*/true), obs_route,
+                      obr.stop_line_s - 25.0, speed * 0.8);
+  }
+
+  const std::vector<std::pair<LaneRef, double>> caps = {
+      {{Arm::kSouth, 1}, ego_s - 18.0},
+  };
+  add_background_traffic(world, cfg, rng, caps);
+  add_background_pedestrians(world, cfg, rng, Arm::kSouth);
+  return sc;
+}
+
+std::vector<CrowdPedestrian> generate_crosswalk_crowd(const RoadNetwork& net,
+                                                      int count,
+                                                      std::mt19937_64& rng) {
+  std::vector<CrowdPedestrian> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const double corner_d = net.box_half() + net.config().crosswalk_offset;
+  // The four corners, each adjacent to two crosswalk walking directions.
+  struct Corner {
+    Vec2 pos;
+    double dir_a;  // heading options (radians)
+    double dir_b;
+  };
+  const std::vector<Corner> corners = {
+      {{corner_d, corner_d}, geom::kPi, -geom::kPi / 2.0},        // NE
+      {{-corner_d, corner_d}, 0.0, -geom::kPi / 2.0},             // NW
+      {{-corner_d, -corner_d}, 0.0, geom::kPi / 2.0},             // SW
+      {{corner_d, -corner_d}, geom::kPi, geom::kPi / 2.0},        // SE
+  };
+  std::uniform_int_distribution<std::size_t> corner_pick(0, corners.size() - 1);
+  std::bernoulli_distribution dir_pick(0.5);
+  std::normal_distribution<double> scatter(0.0, 1.4);
+  std::normal_distribution<double> heading_jitter(0.0, geom::deg_to_rad(3.0));
+  std::uniform_real_distribution<double> speed(1.0, 1.7);
+  for (int i = 0; i < count; ++i) {
+    const Corner& c = corners[corner_pick(rng)];
+    CrowdPedestrian p;
+    p.position = c.pos + Vec2{scatter(rng), scatter(rng)};
+    p.heading = geom::wrap_angle((dir_pick(rng) ? c.dir_a : c.dir_b) +
+                                 heading_jitter(rng));
+    p.speed = speed(rng);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace erpd::sim

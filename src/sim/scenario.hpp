@@ -1,0 +1,72 @@
+#pragma once
+// Scenario builders for the paper's evaluation (§IV):
+//  - unprotected left turn  (Fig. 9a): ego turns left, view of the oncoming
+//    straight vehicle blocked by a truck waiting in the opposite left lane;
+//  - red-light violation    (Fig. 9b): ego crosses on green, a violator runs
+//    the red light, both views blocked by trucks queued at the cross street;
+//  - occluded pedestrian    (Fig. 8a demo): a pedestrian steps out from
+//    behind a stopped truck into the ego lane.
+//
+// Conflict timing is auto-calibrated: the builders intersect the ego and
+// threat routes and place both vehicles so they reach the crossing point
+// simultaneously at the configured speed — which makes the accident
+// inevitable without data sharing (the paper's "Single" rows are 0%).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace erpd::sim {
+
+struct ScenarioConfig {
+  /// Cruise/desired speed of the scripted vehicles (paper sweeps 20-40 km/h).
+  double speed_kmh{30.0};
+  /// Fraction of vehicles that are connected (paper sweeps 0.2-0.5).
+  double connected_fraction{0.3};
+  /// Total vehicles spawned at the intersection (paper: 40).
+  int total_vehicles{40};
+  /// Pedestrians placed at crosswalk corners.
+  int pedestrians{8};
+  /// Seconds before the conflict point at which the scripted vehicles start.
+  double time_to_conflict{7.0};
+  /// Bumper gap of the scripted tailgating follower behind the ego (m).
+  double follower_gap{9.0};
+  std::uint64_t seed{1};
+  WorldConfig world{};
+  RoadConfig road{};
+};
+
+struct Scenario {
+  World world;
+  /// The instrumented (black) vehicle.
+  AgentId ego{kInvalidAgent};
+  /// The conflicting (red) vehicle or pedestrian.
+  AgentId threat{kInvalidAgent};
+  /// Scripted occluders (orange trucks).
+  std::vector<AgentId> occluders;
+  /// Vehicle following the ego in the same lane (for the follower-relevance
+  /// ablation), if one was spawned.
+  AgentId ego_follower{kInvalidAgent};
+};
+
+Scenario make_unprotected_left_turn(const ScenarioConfig& cfg);
+Scenario make_red_light_violation(const ScenarioConfig& cfg);
+Scenario make_occluded_pedestrian(const ScenarioConfig& cfg);
+
+/// A pedestrian at an intersection corner for clustering experiments:
+/// position, heading (walking direction) and speed.
+struct CrowdPedestrian {
+  geom::Vec2 position{};
+  double heading{0.0};
+  double speed{1.35};
+};
+
+/// Generate `count` pedestrians in clumps at the four crosswalk corners,
+/// each walking along one of the two crosswalks adjacent to its corner.
+/// This is the workload for the Fig. 4 clustering experiment.
+std::vector<CrowdPedestrian> generate_crosswalk_crowd(const RoadNetwork& net,
+                                                      int count,
+                                                      std::mt19937_64& rng);
+
+}  // namespace erpd::sim

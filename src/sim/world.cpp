@@ -1,0 +1,471 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace erpd::sim {
+
+using geom::Obb;
+using geom::Vec2;
+
+World::World(RoadNetwork network, WorldConfig cfg)
+    : net_(std::move(network)),
+      cfg_(cfg),
+      signals_(cfg.signal),
+      lidar_(cfg.lidar),
+      rng_(cfg.seed) {}
+
+AgentId World::add_vehicle(const VehicleParams& params, int route_id,
+                           double start_s, double start_speed) {
+  const AgentId id = next_id_++;
+  vehicles_.emplace_back(id, params, route_id, start_s, start_speed);
+  return id;
+}
+
+AgentId World::add_pedestrian(const PedestrianParams& params,
+                              geom::Polyline path, double start_s) {
+  const AgentId id = next_id_++;
+  pedestrians_.emplace_back(id, params, std::move(path), start_s);
+  return id;
+}
+
+void World::add_static_obstacle(const geom::Obb& footprint, double height) {
+  statics_.push_back({footprint, height});
+}
+
+Vehicle* World::find_vehicle(AgentId id) {
+  for (Vehicle& v : vehicles_) {
+    if (v.id() == id) return &v;
+  }
+  return nullptr;
+}
+
+const Vehicle* World::find_vehicle(AgentId id) const {
+  for (const Vehicle& v : vehicles_) {
+    if (v.id() == id) return &v;
+  }
+  return nullptr;
+}
+
+const Pedestrian* World::find_pedestrian(AgentId id) const {
+  for (const Pedestrian& p : pedestrians_) {
+    if (p.id() == id) return &p;
+  }
+  return nullptr;
+}
+
+std::uint64_t World::pair_key(AgentId a, AgentId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+double World::delayed_speed(AgentId id, double delay) const {
+  const auto it = speed_hist_.find(id);
+  if (it == speed_hist_.end() || it->second.empty()) {
+    const Vehicle* v = find_vehicle(id);
+    return v != nullptr ? v->speed() : 0.0;
+  }
+  const double want = time_ - delay;
+  // History is ordered by time; return the newest sample not after `want`.
+  double best = it->second.front().second;
+  for (const auto& [t, v] : it->second) {
+    if (t <= want) {
+      best = v;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> World::find_leader(std::size_t vi) const {
+  const Vehicle& me = vehicles_[vi];
+  const geom::Polyline& path = net_.route(me.route_id()).path;
+  const double my_s = me.s();
+  std::optional<std::size_t> best;
+  double best_gap = cfg_.leader_lookahead;
+  for (std::size_t j = 0; j < vehicles_.size(); ++j) {
+    if (j == vi) continue;
+    const Vehicle& other = vehicles_[j];
+    if (other.finished(net_)) continue;
+    double lateral = 0.0;
+    const double s_other = path.project(other.position(net_), &lateral);
+    if (lateral > net_.config().lane_width * 0.5) continue;
+    const double center_gap = s_other - my_s;
+    if (center_gap <= 0.0) continue;
+    const double gap = center_gap - 0.5 * me.params().dims.length -
+                       0.5 * other.params().dims.length;
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::optional<World::ConflictInfo> World::hazard_conflict(
+    const Vehicle& me, AgentId hazard_id) const {
+  // Current hazard kinematics (ground truth of the agent, as a driver who is
+  // aware of it would estimate).
+  Vec2 hpos;
+  Vec2 hvel;
+  double hlen = 1.0;
+  if (const Vehicle* hv = find_vehicle(hazard_id)) {
+    if (hv->finished(net_) || hv->params().parked) return std::nullopt;
+    hpos = hv->position(net_);
+    hvel = hv->velocity(net_);
+    hlen = hv->params().dims.length;
+  } else if (const Pedestrian* hp = find_pedestrian(hazard_id)) {
+    if (hp->finished()) return std::nullopt;
+    hpos = hp->position();
+    hvel = hp->velocity();
+    hlen = hp->params().dims.length;
+  } else {
+    return std::nullopt;
+  }
+
+  const geom::Polyline& path = net_.route(me.route_id()).path;
+  const double lookahead =
+      std::max(25.0, me.speed() * cfg_.hazard_horizon + 15.0);
+  const geom::Polyline ahead = path.slice(me.s(), me.s() + lookahead);
+  if (ahead.empty()) return std::nullopt;
+
+  const double hspeed = hvel.norm();
+  const double my_speed = std::max(me.speed(), 0.5);
+  if (hspeed < 0.3) {
+    // (Nearly) stationary hazard sitting on my path: conflict at its
+    // location; it is "at" the conflict point now (t_hazard = 0).
+    double lateral = 0.0;
+    const double s_on = ahead.project(hpos, &lateral);
+    if (lateral > 0.5 * (me.params().dims.width + hlen)) return std::nullopt;
+    return ConflictInfo{me.s() + s_on, s_on / my_speed, 0.0};
+  }
+
+  // Moving hazard: straight-line projection. The projected path stops just
+  // past the hazard's current reach so that a hazard that has already
+  // passed the crossing no longer conflicts.
+  const geom::Polyline hpath{
+      {hpos,
+       hpos + hvel.normalized() * (hspeed * (cfg_.hazard_horizon + 3.0) + hlen)}};
+  const auto crossing = ahead.first_crossing(hpath);
+  if (!crossing) return std::nullopt;
+  return ConflictInfo{me.s() + crossing->s_this, crossing->s_this / my_speed,
+                      crossing->s_other / hspeed};
+}
+
+double World::control_vehicle(Vehicle& me) {
+  const Route& route = net_.route(me.route_id());
+  const IdmModel& idm = me.params().idm;
+
+  // 1) Car following with reaction-delayed leader speed.
+  double accel = idm.acceleration(me.speed(), 0.0, IdmModel::free_road());
+  std::size_t my_index = 0;
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    if (vehicles_[i].id() == me.id()) {
+      my_index = i;
+      break;
+    }
+  }
+  if (const auto leader = find_leader(my_index)) {
+    const Vehicle& lead = vehicles_[*leader];
+    const geom::Polyline& path = route.path;
+    const double s_lead = path.project(lead.position(net_));
+    const double gap = s_lead - me.s() - 0.5 * me.params().dims.length -
+                       0.5 * lead.params().dims.length;
+    const double v_lead_seen =
+        delayed_speed(lead.id(), me.params().reaction_time);
+    accel = std::min(
+        accel, idm.acceleration(me.speed(), v_lead_seen, std::max(gap, 0.05)));
+  }
+
+  // Inattentive drivers execute the car-following command they computed one
+  // reaction time ago (human output delay). Attentive drivers (and the
+  // automated controller baseline) react instantly.
+  if (!me.params().attentive) {
+    auto& hist = follow_accel_hist_[me.id()];
+    hist.emplace_back(time_, accel);
+    while (!hist.empty() && hist.front().first < time_ - 3.0) hist.pop_front();
+    const double want = time_ - me.params().reaction_time;
+    double delayed = hist.front().second;
+    for (const auto& [ht, ha] : hist) {
+      if (ht <= want) {
+        delayed = ha;
+      } else {
+        break;
+      }
+    }
+    accel = delayed;
+  }
+
+  // 2) Traffic signal at the stop line.
+  if (!me.params().runs_red_light && me.s() < route.stop_line_s) {
+    const auto light = signals_.state(route.entry_arm, time_);
+    bool must_stop = light == SignalController::Light::kRed;
+    if (light == SignalController::Light::kYellow) {
+      const double dist = route.stop_line_s - me.s();
+      const double comfort_stop =
+          me.speed() * me.speed() / (2.0 * idm.comfort_decel);
+      must_stop = dist > comfort_stop;  // stop if we comfortably can
+    }
+    if (must_stop) {
+      const double gap =
+          route.stop_line_s - me.s() - 0.5 * me.params().dims.length;
+      accel = std::min(accel,
+                       idm.acceleration(me.speed(), 0.0, std::max(gap, 0.05)));
+    }
+  }
+
+  // 3) Hazard reaction: hard brake `reaction_time` after becoming aware of a
+  //    conflicting object. Per the paper's evaluation setup, awareness comes
+  //    from disseminated perception data; own-sensor sightings only count
+  //    when react_to_visible_hazards is enabled.
+  const bool reacts_to_visible =
+      me.params().attentive || cfg_.react_to_visible_hazards;
+  for (const auto& [hazard_id, knowledge] : me.known_hazards()) {
+    if (!knowledge.from_dissemination && !reacts_to_visible) continue;
+    if (time_ - knowledge.aware_since < me.params().reaction_time) continue;
+
+    const auto conflict = hazard_conflict(me, hazard_id);
+
+    // Yield-latch policy: start yielding when the conflict is imminent;
+    // hold a fixed stop target until the hazard clears the crossing (the
+    // geometric conflict disappears); never creep forward on momentary TTC
+    // fluctuation.
+    if (me.yielding_to(hazard_id)) {
+      if (!conflict) {
+        me.end_yield(hazard_id);
+        continue;
+      }
+    } else {
+      if (!conflict) continue;
+      const bool imminent = conflict->t_me < cfg_.hazard_horizon &&
+                            conflict->t_hazard < cfg_.hazard_horizon &&
+                            std::abs(conflict->t_me - conflict->t_hazard) <
+                                cfg_.conflict_margin + 2.0;
+      if (!imminent) continue;
+      me.start_yield(hazard_id,
+                     conflict->s_conflict - 6.0 - 0.5 * me.params().dims.length);
+    }
+
+    const double stop_gap = me.yield_stop_s(hazard_id) - me.s();
+    if (stop_gap > 0.3) {
+      accel = std::min(accel, idm.acceleration(me.speed(), 0.0, stop_gap));
+    } else if (me.speed() > 0.5 &&
+               conflict->s_conflict - me.s() > 0.5 * me.params().dims.length) {
+      // Past the planned stop point but not yet in the conflict area:
+      // emergency brake.
+      accel = -me.params().max_brake;
+    }
+    // Else: inside/at the conflict area already - committed, keep moving.
+  }
+  return accel;
+}
+
+void World::sense_hazards() {
+  for (Vehicle& v : vehicles_) {
+    if (v.params().parked || v.crashed() || v.finished(net_)) continue;
+    for (const Vehicle& other : vehicles_) {
+      if (other.id() == v.id() || other.params().parked) continue;
+      if (other.finished(net_) || other.crashed()) continue;
+      if (agent_visible_from(v.id(), other.id())) {
+        v.learn_hazard(other.id(), time_, false);
+      }
+    }
+    for (const Pedestrian& p : pedestrians_) {
+      if (p.finished()) continue;
+      if (agent_visible_from(v.id(), p.id())) {
+        v.learn_hazard(p.id(), time_, false);
+      }
+    }
+  }
+}
+
+void World::step() {
+  sense_hazards();
+
+  // Compute controls against the pre-step state, then integrate.
+  std::vector<double> accels(vehicles_.size(), 0.0);
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    Vehicle& v = vehicles_[i];
+    if (v.params().parked || v.crashed() || v.finished(net_)) continue;
+    accels[i] = control_vehicle(v);
+  }
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    Vehicle& v = vehicles_[i];
+    if (v.finished(net_)) continue;
+    v.advance(accels[i], cfg_.dt);
+  }
+  for (Pedestrian& p : pedestrians_) {
+    if (!p.finished()) p.advance(cfg_.dt);
+  }
+
+  time_ += cfg_.dt;
+
+  // Record speed history for delayed perception.
+  for (const Vehicle& v : vehicles_) {
+    auto& hist = speed_hist_[v.id()];
+    hist.emplace_back(time_, v.speed());
+    while (!hist.empty() && hist.front().first < time_ - 3.0) {
+      hist.pop_front();
+    }
+  }
+
+  detect_collisions();
+  update_pair_distances();
+}
+
+void World::detect_collisions() {
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    Vehicle& a = vehicles_[i];
+    if (a.finished(net_)) continue;
+    const Obb box_a = a.obb(net_);
+    for (std::size_t j = i + 1; j < vehicles_.size(); ++j) {
+      Vehicle& b = vehicles_[j];
+      if (b.finished(net_)) continue;
+      if (a.crashed() && b.crashed()) continue;
+      if (box_a.overlaps(b.obb(net_))) {
+        collisions_.push_back(
+            {a.id(), b.id(), time_, (a.position(net_) + b.position(net_)) * 0.5});
+        a.mark_crashed();
+        b.mark_crashed();
+      }
+    }
+    for (Pedestrian& p : pedestrians_) {
+      if (p.finished()) continue;
+      if (a.crashed()) continue;
+      if (box_a.overlaps(p.obb())) {
+        collisions_.push_back(
+            {a.id(), p.id(), time_, (a.position(net_) + p.position()) * 0.5});
+        a.mark_crashed();
+      }
+    }
+  }
+}
+
+void World::update_pair_distances() {
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const Vehicle& a = vehicles_[i];
+    if (a.finished(net_) || a.params().parked) continue;
+    const Obb box_a = a.obb(net_);
+    for (std::size_t j = i + 1; j < vehicles_.size(); ++j) {
+      const Vehicle& b = vehicles_[j];
+      if (b.finished(net_) || b.params().parked) continue;
+      const double d = box_a.distance_to(b.obb(net_));
+      auto& slot = pair_min_dist_
+                       .try_emplace(pair_key(a.id(), b.id()),
+                                    std::numeric_limits<double>::infinity())
+                       .first->second;
+      slot = std::min(slot, d);
+      global_min_distance_ = std::min(global_min_distance_, d);
+    }
+    for (const Pedestrian& p : pedestrians_) {
+      if (p.finished()) continue;
+      const double d = box_a.distance_to(p.obb());
+      auto& slot = pair_min_dist_
+                       .try_emplace(pair_key(a.id(), p.id()),
+                                    std::numeric_limits<double>::infinity())
+                       .first->second;
+      slot = std::min(slot, d);
+    }
+  }
+}
+
+std::vector<LidarTarget> World::lidar_targets(AgentId exclude) const {
+  std::vector<LidarTarget> out;
+  out.reserve(vehicles_.size() + pedestrians_.size() + statics_.size());
+  for (const Vehicle& v : vehicles_) {
+    if (v.id() == exclude || v.finished(net_)) continue;
+    out.push_back({v.obb(net_), 0.0, v.params().dims.height, v.id()});
+  }
+  for (const Pedestrian& p : pedestrians_) {
+    if (p.id() == exclude || p.finished()) continue;
+    out.push_back({p.obb(), 0.0, p.params().dims.height, p.id()});
+  }
+  AgentId static_id = -2;
+  for (const StaticObstacle& s : statics_) {
+    out.push_back({s.footprint, 0.0, s.height, static_id--});
+  }
+  return out;
+}
+
+LidarScan World::scan_from(AgentId vehicle_id) {
+  const Vehicle* v = find_vehicle(vehicle_id);
+  if (v == nullptr) return {};
+  const auto targets = lidar_targets(vehicle_id);
+  return lidar_.scan(v->sensor_pose(net_, cfg_.sensor_height), targets, rng_);
+}
+
+bool World::agent_visible_from(AgentId viewer, AgentId target) const {
+  const Vehicle* ve = find_vehicle(viewer);
+  if (ve == nullptr) return false;
+  const Vec2 eye = ve->position(net_);
+
+  Vec2 tpos;
+  if (const Vehicle* tv = find_vehicle(target)) {
+    if (tv->finished(net_)) return false;
+    tpos = tv->position(net_);
+  } else if (const Pedestrian* tp = find_pedestrian(target)) {
+    if (tp->finished()) return false;
+    tpos = tp->position();
+  } else {
+    return false;
+  }
+
+  if (distance(eye, tpos) > cfg_.sensor_range) return false;
+
+  std::vector<Obb> occluders;
+  occluders.reserve(vehicles_.size() + statics_.size());
+  for (const Vehicle& v : vehicles_) {
+    if (v.id() == viewer || v.id() == target || v.finished(net_)) continue;
+    occluders.push_back(v.obb(net_));
+  }
+  for (const StaticObstacle& s : statics_) occluders.push_back(s.footprint);
+  // Pedestrians are too small to occlude vehicles meaningfully.
+  return line_of_sight(eye, tpos, occluders);
+}
+
+void World::notify_vehicle(AgentId vehicle, AgentId hazard) {
+  if (Vehicle* v = find_vehicle(vehicle)) {
+    v->learn_hazard(hazard, time_, true);
+  }
+}
+
+bool World::agent_crashed(AgentId id) const {
+  for (const CollisionEvent& c : collisions_) {
+    if (c.a == id || c.b == id) return true;
+  }
+  return false;
+}
+
+double World::min_pair_distance(AgentId a, AgentId b) const {
+  const auto it = pair_min_dist_.find(pair_key(a, b));
+  return it == pair_min_dist_.end() ? std::numeric_limits<double>::infinity()
+                                    : it->second;
+}
+
+std::vector<AgentSnapshot> World::snapshot() const {
+  std::vector<AgentSnapshot> out;
+  out.reserve(vehicles_.size() + pedestrians_.size());
+  for (const Vehicle& v : vehicles_) {
+    if (v.finished(net_)) continue;
+    out.push_back({v.id(), v.params().kind, v.position(net_), v.heading(net_),
+                   v.velocity(net_), v.params().dims, v.params().connected,
+                   v.params().parked});
+  }
+  for (const Pedestrian& p : pedestrians_) {
+    if (p.finished()) continue;
+    out.push_back({p.id(), AgentKind::kPedestrian, p.position(), p.heading(),
+                   p.velocity(), p.params().dims, false, false});
+  }
+  return out;
+}
+
+bool World::passed_intersection(AgentId vehicle_id) const {
+  const Vehicle* v = find_vehicle(vehicle_id);
+  if (v == nullptr) return false;
+  return v->s() >= net_.route(v->route_id()).box_exit_s;
+}
+
+}  // namespace erpd::sim

@@ -1,0 +1,183 @@
+#pragma once
+// The simulated world: road network + signals + agents + static scenery.
+//
+// World::step advances all agents by one tick. Vehicle control mirrors the
+// paper's evaluation setup: a default microscopic controller (IDM, standing
+// in for CARLA's autopilot) plus a "simple logic to simulate human drivers'
+// reactions" — a driver becomes aware of a hazard either by seeing it
+// (line-of-sight) or by receiving disseminated perception data, and brakes
+// hard one reaction time later if the hazard is on a conflicting course.
+// Followers perceive their leader's *speed* with the same reaction delay,
+// which is what makes sudden leader braking dangerous (paper §III-A.2).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/lidar.hpp"
+#include "sim/road_network.hpp"
+#include "sim/types.hpp"
+
+namespace erpd::sim {
+
+struct WorldConfig {
+  double dt{0.1};
+  /// LiDAR mount height above ground (roof).
+  double sensor_height{1.9};
+  /// Perception range for both LiDAR and driver line-of-sight (meters).
+  double sensor_range{50.0};
+  /// How far ahead (seconds) drivers project hazards.
+  double hazard_horizon{6.0};
+  /// Passing-time difference below which a crossing is a conflict (seconds).
+  double conflict_margin{2.5};
+  /// Leader search distance along the route (meters).
+  double leader_lookahead{60.0};
+  /// Force-override: when true, even inattentive vehicles react to hazards
+  /// they can see. Per-vehicle behaviour is VehicleParams::attentive; the
+  /// scripted conflict vehicles are inattentive so that (per the paper's
+  /// setup, §IV-C.1) only disseminated perception data makes them brake.
+  bool react_to_visible_hazards{false};
+  SignalController::Timing signal{};
+  LidarConfig lidar{};
+  std::uint64_t seed{1};
+};
+
+struct CollisionEvent {
+  AgentId a{kInvalidAgent};
+  AgentId b{kInvalidAgent};
+  double time{0.0};
+  geom::Vec2 position{};
+};
+
+/// World-truth snapshot of one agent (consumed by metrics and by the edge
+/// modules when they need ground truth for scoring).
+struct AgentSnapshot {
+  AgentId id{kInvalidAgent};
+  AgentKind kind{AgentKind::kCar};
+  geom::Vec2 position{};
+  double heading{0.0};
+  geom::Vec2 velocity{};
+  BodyDims dims{};
+  bool connected{false};
+  bool parked{false};
+};
+
+class World {
+ public:
+  World(RoadNetwork network, WorldConfig cfg);
+
+  const RoadNetwork& network() const { return net_; }
+  const SignalController& signals() const { return signals_; }
+  const WorldConfig& config() const { return cfg_; }
+  double time() const { return time_; }
+  std::mt19937_64& rng() { return rng_; }
+
+  AgentId add_vehicle(const VehicleParams& params, int route_id,
+                      double start_s, double start_speed);
+  AgentId add_pedestrian(const PedestrianParams& params, geom::Polyline path,
+                         double start_s = 0.0);
+  /// Static scenery (buildings, barriers): occludes LiDAR and sight.
+  void add_static_obstacle(const geom::Obb& footprint, double height);
+
+  const std::vector<Vehicle>& vehicles() const { return vehicles_; }
+  std::vector<Vehicle>& vehicles() { return vehicles_; }
+  const std::vector<Pedestrian>& pedestrians() const { return pedestrians_; }
+
+  Vehicle* find_vehicle(AgentId id);
+  const Vehicle* find_vehicle(AgentId id) const;
+  const Pedestrian* find_pedestrian(AgentId id) const;
+
+  /// Advance the world by one tick (cfg.dt).
+  void step();
+
+  // --- Perception support -------------------------------------------------
+
+  /// All LiDAR-visible prisms except the viewer itself.
+  std::vector<LidarTarget> lidar_targets(AgentId exclude = kInvalidAgent) const;
+
+  /// Ray-cast LiDAR scan from a vehicle's roof sensor.
+  LidarScan scan_from(AgentId vehicle_id);
+
+  /// Driver/sensor line-of-sight check (range + occlusion).
+  bool agent_visible_from(AgentId viewer, AgentId target) const;
+
+  /// Edge-server dissemination entry point: hand perception data about
+  /// `hazard` to `vehicle`. The driver reacts one reaction time later.
+  void notify_vehicle(AgentId vehicle, AgentId hazard);
+
+  // --- Metrics -------------------------------------------------------------
+
+  const std::vector<CollisionEvent>& collisions() const { return collisions_; }
+  bool agent_crashed(AgentId id) const;
+
+  /// Minimum distance ever observed between the two agents (inf if never
+  /// both present). Tracks vehicle-vehicle and vehicle-pedestrian pairs.
+  double min_pair_distance(AgentId a, AgentId b) const;
+  /// Minimum over all vehicle pairs ever observed.
+  double min_vehicle_distance() const { return global_min_distance_; }
+
+  std::vector<AgentSnapshot> snapshot() const;
+
+  /// True once a vehicle has traversed the intersection box.
+  bool passed_intersection(AgentId vehicle_id) const;
+
+ private:
+  RoadNetwork net_;
+  WorldConfig cfg_;
+  SignalController signals_;
+  LidarSensor lidar_;
+  std::mt19937_64 rng_;
+  double time_{0.0};
+  AgentId next_id_{0};
+
+  std::vector<Vehicle> vehicles_;
+  std::vector<Pedestrian> pedestrians_;
+  struct StaticObstacle {
+    geom::Obb footprint;
+    double height;
+  };
+  std::vector<StaticObstacle> statics_;
+
+  std::vector<CollisionEvent> collisions_;
+  std::unordered_map<std::uint64_t, double> pair_min_dist_;
+  double global_min_distance_{std::numeric_limits<double>::infinity()};
+
+  /// Recent speed history per vehicle for delayed-perception following.
+  std::unordered_map<AgentId, std::deque<std::pair<double, double>>> speed_hist_;
+  /// Recent car-following acceleration commands per vehicle. Inattentive
+  /// drivers apply the command computed one reaction time ago (classical
+  /// human output delay), which is what makes them rear-end a hard-braking
+  /// leader from a short gap (paper §III-A.2).
+  std::unordered_map<AgentId, std::deque<std::pair<double, double>>>
+      follow_accel_hist_;
+
+  /// Geometric conflict between a vehicle's route and a hazard's projected
+  /// path.
+  struct ConflictInfo {
+    /// Absolute arc length (on the vehicle's route) of the conflict point.
+    double s_conflict{0.0};
+    /// Nominal times for the vehicle / hazard to reach it (seconds).
+    double t_me{0.0};
+    double t_hazard{0.0};
+  };
+
+  double control_vehicle(Vehicle& v);
+  std::optional<std::size_t> find_leader(std::size_t vi) const;
+  double delayed_speed(AgentId id, double delay) const;
+  /// Crossing between the vehicle's path ahead and the hazard's projected
+  /// path, if any. Purely geometric; activation/latching policy lives in
+  /// control_vehicle.
+  std::optional<ConflictInfo> hazard_conflict(const Vehicle& me,
+                                              AgentId hazard_id) const;
+  void sense_hazards();
+  void detect_collisions();
+  void update_pair_distances();
+  static std::uint64_t pair_key(AgentId a, AgentId b);
+};
+
+}  // namespace erpd::sim

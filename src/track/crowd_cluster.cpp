@@ -1,0 +1,219 @@
+#include "track/crowd_cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "geom/angle.hpp"
+#include "geom/stats.hpp"
+
+namespace erpd::track {
+
+using geom::Vec2;
+
+namespace {
+
+/// Location-only density clustering (union of eps-balls), min_pts = 1:
+/// every entity ends up in exactly one cluster.
+std::vector<std::vector<std::size_t>> location_clusters(
+    const std::vector<CrowdEntity>& entities, double eps) {
+  const std::size_t n = entities.size();
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<bool> assigned(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (assigned[i]) continue;
+    std::vector<std::size_t> cluster;
+    std::deque<std::size_t> frontier{i};
+    assigned[i] = true;
+    while (!frontier.empty()) {
+      const std::size_t j = frontier.front();
+      frontier.pop_front();
+      cluster.push_back(j);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (assigned[k]) continue;
+        if (distance(entities[j].position, entities[k].position) <= eps) {
+          assigned[k] = true;
+          frontier.push_back(k);
+        }
+      }
+    }
+    out.push_back(std::move(cluster));
+  }
+  return out;
+}
+
+Vec2 members_centroid(const std::vector<CrowdEntity>& entities,
+                      const std::vector<std::size_t>& members) {
+  Vec2 c{};
+  for (std::size_t i : members) c += entities[i].position;
+  return c / static_cast<double>(members.size());
+}
+
+double members_heading_mean(const std::vector<CrowdEntity>& entities,
+                            const std::vector<std::size_t>& members) {
+  std::vector<double> hs;
+  hs.reserve(members.size());
+  for (std::size_t i : members) hs.push_back(entities[i].heading);
+  return geom::circular_mean(hs.begin(), hs.end());
+}
+
+double members_location_stddev(const std::vector<CrowdEntity>& entities,
+                               const std::vector<std::size_t>& members) {
+  std::vector<Vec2> pts;
+  pts.reserve(members.size());
+  for (std::size_t i : members) pts.push_back(entities[i].position);
+  return geom::location_stddev(pts);
+}
+
+double members_heading_stddev(const std::vector<CrowdEntity>& entities,
+                              const std::vector<std::size_t>& members) {
+  std::vector<double> hs;
+  hs.reserve(members.size());
+  for (std::size_t i : members) hs.push_back(entities[i].heading);
+  return geom::circular_stddev(hs.begin(), hs.end());
+}
+
+CrowdClusterResult finalize(const std::vector<CrowdEntity>& entities,
+                            std::vector<std::vector<std::size_t>> groups) {
+  CrowdClusterResult res;
+  res.labels.assign(entities.size(), -1);
+  for (auto& members : groups) {
+    if (members.empty()) continue;
+    CrowdCluster c;
+    c.centroid = members_centroid(entities, members);
+    c.mean_heading = members_heading_mean(entities, members);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i : members) {
+      const double d = distance(entities[i].position, c.centroid);
+      if (d < best) {
+        best = d;
+        c.representative = i;
+      }
+    }
+    c.members = std::move(members);
+    const std::int32_t label = static_cast<std::int32_t>(res.clusters.size());
+    for (std::size_t i : c.members) res.labels[i] = label;
+    res.clusters.push_back(std::move(c));
+  }
+  return res;
+}
+
+}  // namespace
+
+CrowdClusterResult cluster_crowd(const std::vector<CrowdEntity>& entities,
+                                 const CrowdClusterConfig& cfg) {
+  const double gamma = geom::deg_to_rad(cfg.gamma_deg);
+  std::deque<std::vector<std::size_t>> work;
+  for (auto& c : location_clusters(entities, cfg.location_eps)) {
+    work.push_back(std::move(c));
+  }
+
+  std::vector<std::vector<std::size_t>> accepted;
+  while (!work.empty()) {
+    std::vector<std::size_t> c = std::move(work.front());
+    work.pop_front();
+    if (c.size() <= 1) {
+      accepted.push_back(std::move(c));
+      continue;
+    }
+    const double loc_dev = members_location_stddev(entities, c);
+    const double ori_dev = members_heading_stddev(entities, c);
+    if (loc_dev <= cfg.beta && ori_dev <= gamma) {
+      accepted.push_back(std::move(c));
+      continue;
+    }
+
+    // Remove members whose individual deviation from the cluster mean
+    // exceeds a threshold; they seed a new cluster (paper's split step).
+    const Vec2 centroid = members_centroid(entities, c);
+    const double mean_h = members_heading_mean(entities, c);
+    std::vector<std::size_t> keep;
+    std::vector<std::size_t> moved;
+    for (std::size_t i : c) {
+      const bool loc_bad = distance(entities[i].position, centroid) > cfg.beta;
+      const bool ori_bad =
+          geom::angle_dist(entities[i].heading, mean_h) > gamma;
+      if (loc_bad || ori_bad) {
+        moved.push_back(i);
+      } else {
+        keep.push_back(i);
+      }
+    }
+    if (keep.empty() || moved.empty()) {
+      // Degenerate (every member deviates, or none do yet the aggregate
+      // deviation exceeds the threshold): split around the member farthest
+      // from the centroid to guarantee progress.
+      std::size_t seed = c.front();
+      double best = -1.0;
+      for (std::size_t i : c) {
+        const double d = distance(entities[i].position, centroid);
+        // Blend heading disagreement (scaled to meters) into the farthest-
+        // member choice so orientation outliers seed the new cluster too.
+        const double score =
+            d + cfg.beta * geom::angle_dist(entities[i].heading, mean_h) /
+                    std::max(gamma, 1e-3);
+        if (score > best) {
+          best = score;
+          seed = i;
+        }
+      }
+      keep.clear();
+      moved.clear();
+      for (std::size_t i : c) {
+        const double to_seed =
+            distance(entities[i].position, entities[seed].position) +
+            cfg.beta * geom::angle_dist(entities[i].heading,
+                                        entities[seed].heading) /
+                std::max(gamma, 1e-3);
+        const double to_centroid =
+            distance(entities[i].position, centroid) +
+            cfg.beta * geom::angle_dist(entities[i].heading, mean_h) /
+                std::max(gamma, 1e-3);
+        if (i == seed || to_seed < to_centroid) {
+          moved.push_back(i);
+        } else {
+          keep.push_back(i);
+        }
+      }
+      if (keep.empty()) {
+        // Seed attracted everyone: force the seed alone into a new cluster.
+        moved.assign(1, seed);
+        keep.clear();
+        for (std::size_t i : c) {
+          if (i != seed) keep.push_back(i);
+        }
+      }
+    }
+    work.push_back(std::move(keep));
+    work.push_back(std::move(moved));
+  }
+  return finalize(entities, std::move(accepted));
+}
+
+CrowdClusterResult cluster_crowd_dbscan(
+    const std::vector<CrowdEntity>& entities, double eps) {
+  return finalize(entities, location_clusters(entities, eps));
+}
+
+double final_location_deviation(const std::vector<CrowdEntity>& entities,
+                                const CrowdClusterResult& result,
+                                double move_time) {
+  double weighted = 0.0;
+  std::size_t total = 0;
+  for (const CrowdCluster& c : result.clusters) {
+    std::vector<Vec2> finals;
+    finals.reserve(c.members.size());
+    for (std::size_t i : c.members) {
+      const CrowdEntity& e = entities[i];
+      finals.push_back(e.position + Vec2::from_heading(e.heading) *
+                                        (e.speed * move_time));
+    }
+    weighted += geom::location_stddev(finals) *
+                static_cast<double>(c.members.size());
+    total += c.members.size();
+  }
+  return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+}  // namespace erpd::track

@@ -1,0 +1,63 @@
+#pragma once
+// Pedestrian crowd clustering (paper Rule 3 and Fig. 4).
+//
+// The paper's algorithm: cluster pedestrians by location first, then
+// iteratively split any cluster whose location standard deviation exceeds
+// beta or whose orientation (walking-direction) deviation exceeds gamma,
+// until every cluster satisfies both constraints. Only each cluster's
+// representative is tracked/predicted. A plain 2-D DBSCAN serves as the
+// baseline the paper compares against (location only, no orientation).
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace erpd::track {
+
+struct CrowdEntity {
+  geom::Vec2 position{};
+  /// Walking direction (radians).
+  double heading{0.0};
+  double speed{1.35};
+};
+
+struct CrowdClusterConfig {
+  /// Neighborhood radius of the initial location-only clustering (meters).
+  double location_eps{2.5};
+  /// Location deviation threshold beta (meters). Paper: 2.
+  double beta{2.0};
+  /// Orientation deviation threshold gamma (degrees). Paper: 5.
+  double gamma_deg{5.0};
+};
+
+struct CrowdCluster {
+  std::vector<std::size_t> members;  // indices into the input
+  geom::Vec2 centroid{};
+  double mean_heading{0.0};
+  /// Member chosen as the representative (closest to centroid).
+  std::size_t representative{0};
+};
+
+struct CrowdClusterResult {
+  std::vector<CrowdCluster> clusters;
+  /// Per-entity cluster index.
+  std::vector<std::int32_t> labels;
+};
+
+/// The paper's location+orientation clusterer.
+CrowdClusterResult cluster_crowd(const std::vector<CrowdEntity>& entities,
+                                 const CrowdClusterConfig& cfg = {});
+
+/// Baseline: 2-D DBSCAN on locations only (min_pts = 1 so nobody is noise).
+CrowdClusterResult cluster_crowd_dbscan(
+    const std::vector<CrowdEntity>& entities, double eps = 2.5);
+
+/// Evaluation metric of Fig. 4(c): let every pedestrian walk along its
+/// heading for `move_time` seconds, then return the member-weighted mean of
+/// the per-cluster standard deviation of final locations.
+double final_location_deviation(const std::vector<CrowdEntity>& entities,
+                                const CrowdClusterResult& result,
+                                double move_time);
+
+}  // namespace erpd::track

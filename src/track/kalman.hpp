@@ -1,0 +1,63 @@
+#pragma once
+// Constant-velocity Kalman filter in the plane.
+//
+// State x = [px, py, vx, vy]; measurements are positions (vehicle uploads
+// provide centroids; velocity is observed indirectly). The filter supplies
+// both the smoothed state for tracking and the positional covariance that
+// seeds the bivariate-Gaussian uncertainty of predicted trajectories.
+
+#include <array>
+
+#include "geom/gaussian2d.hpp"
+#include "geom/vec2.hpp"
+
+namespace erpd::track {
+
+struct KalmanConfig {
+  /// Process noise: white acceleration spectral density (m^2/s^3).
+  double accel_noise{2.0};
+  /// Measurement noise std-dev on positions (meters).
+  double meas_sigma{0.4};
+  /// Initial velocity uncertainty std-dev (m/s).
+  double init_vel_sigma{4.0};
+};
+
+class KalmanCV {
+ public:
+  using Config = KalmanConfig;
+
+  explicit KalmanCV(geom::Vec2 position, Config cfg = {});
+  KalmanCV(geom::Vec2 position, geom::Vec2 velocity, Config cfg = {});
+
+  geom::Vec2 position() const { return {x_[0], x_[1]}; }
+  geom::Vec2 velocity() const { return {x_[2], x_[3]}; }
+  double speed() const { return velocity().norm(); }
+
+  /// Advance the state by dt (prediction step).
+  void predict(double dt);
+
+  /// Fuse a position measurement.
+  void update(geom::Vec2 measured_position);
+
+  /// Fuse a position + velocity measurement (extractors estimate velocity
+  /// from frame-to-frame displacement).
+  void update(geom::Vec2 measured_position, geom::Vec2 measured_velocity,
+              double vel_sigma);
+
+  /// Positional covariance as a bivariate Gaussian around the current
+  /// position estimate.
+  geom::Gaussian2D position_gaussian() const;
+
+  /// Positional covariance entries (for tests).
+  double var_px() const { return p_[0][0]; }
+  double var_py() const { return p_[1][1]; }
+  double var_vx() const { return p_[2][2]; }
+  double var_vy() const { return p_[3][3]; }
+
+ private:
+  Config cfg_;
+  std::array<double, 4> x_{};
+  std::array<std::array<double, 4>, 4> p_{};  // covariance
+};
+
+}  // namespace erpd::track

@@ -1,0 +1,82 @@
+#pragma once
+// Scalability rules for selecting which objects to predict (paper §II-D).
+//
+//   Rule 1 — per approach lane, predict only the *leading* vehicle; the
+//            followers behind it are covered by car-following models.
+//   Rule 2 — predict every moving vehicle inside the crosswalk (red)
+//            boundary around the intersection.
+//   Rule 3 — cluster pedestrians into crowds; predict only the cluster
+//            representatives.
+//
+// The output also exposes the follower chains (for the car-following
+// relevance of §III-A.2) and the pedestrian member -> representative map.
+
+#include <map>
+#include <vector>
+
+#include "sim/road_network.hpp"
+#include "track/crowd_cluster.hpp"
+#include "track/prediction.hpp"
+#include "track/tracker.hpp"
+
+namespace erpd::track {
+
+struct LaneQueue {
+  sim::LaneRef lane{};
+  int route_id{-1};
+  /// Track ids ordered front (closest to the stop line) to back.
+  std::vector<int> track_ids;
+  /// Arc length of each vehicle along the matched route (same order).
+  std::vector<double> arc_lengths;
+};
+
+struct RepresentativeSet {
+  /// Track ids whose trajectories are predicted (Rules 1+2 vehicles and
+  /// Rule 3 pedestrian representatives).
+  std::vector<int> predicted_tracks;
+  /// Rule-1 leaders only.
+  std::vector<int> lane_leaders;
+  /// Rule-2 in-boundary vehicles.
+  std::vector<int> boundary_vehicles;
+  /// Rule-3 pedestrian representatives.
+  std::vector<int> pedestrian_representatives;
+
+  /// Follower -> immediate leader (track ids), from the lane queues.
+  std::map<int, int> follower_of;
+  /// Pedestrian member -> its cluster representative (track ids).
+  std::map<int, int> pedestrian_rep_of;
+
+  std::vector<LaneQueue> lane_queues;
+
+  bool is_predicted(int track_id) const {
+    for (int id : predicted_tracks) {
+      if (id == track_id) return true;
+    }
+    return false;
+  }
+};
+
+struct RuleConfig {
+  /// Extra margin around the intersection box for the Rule-2 red boundary
+  /// (covers the crosswalk strip).
+  double boundary_margin{3.0};
+  /// Minimum speed for a boundary vehicle to count as moving (m/s).
+  double min_moving_speed{0.5};
+  CrowdClusterConfig crowd{};
+  PredictorConfig matcher{};
+};
+
+class RuleEngine {
+ public:
+  RuleEngine(const sim::RoadNetwork& net, RuleConfig cfg = {});
+
+  RepresentativeSet select(const std::vector<const Track*>& tracks) const;
+
+  const RuleConfig& config() const { return cfg_; }
+
+ private:
+  const sim::RoadNetwork& net_;
+  RuleConfig cfg_;
+};
+
+}  // namespace erpd::track

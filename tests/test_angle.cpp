@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/angle.hpp"
+
+namespace erpd::geom {
+namespace {
+
+TEST(Angle, DegRadRoundTrip) {
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad_to_deg(kPi / 2.0), 90.0);
+  for (double d : {-720.0, -33.0, 0.0, 45.0, 1000.0}) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(d)), d, 1e-9);
+  }
+}
+
+TEST(Angle, WrapIntoHalfOpenInterval) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_angle(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_angle(3.0 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(-kPi / 2.0), -kPi / 2.0, 1e-12);
+  for (double a = -20.0; a <= 20.0; a += 0.37) {
+    const double w = wrap_angle(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    // Same direction.
+    EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+  }
+}
+
+TEST(Angle, DiffIsSigned) {
+  EXPECT_NEAR(angle_diff(0.2, 0.1), 0.1, 1e-12);
+  EXPECT_NEAR(angle_diff(0.1, 0.2), -0.1, 1e-12);
+  // Across the wrap point: from +175deg to -175deg is +10deg.
+  const double a = deg_to_rad(-175.0);
+  const double b = deg_to_rad(175.0);
+  EXPECT_NEAR(angle_diff(a, b), deg_to_rad(10.0), 1e-9);
+}
+
+TEST(Angle, DistSymmetricAndBounded) {
+  for (double a = -3.0; a <= 3.0; a += 0.5) {
+    for (double b = -3.0; b <= 3.0; b += 0.5) {
+      EXPECT_NEAR(angle_dist(a, b), angle_dist(b, a), 1e-12);
+      EXPECT_LE(angle_dist(a, b), kPi + 1e-12);
+      EXPECT_GE(angle_dist(a, b), 0.0);
+    }
+  }
+}
+
+TEST(Angle, CircularMeanSimple) {
+  std::vector<double> v{0.1, -0.1};
+  EXPECT_NEAR(circular_mean(v.begin(), v.end()), 0.0, 1e-12);
+}
+
+TEST(Angle, CircularMeanAcrossWrap) {
+  // Mean of +178deg and -178deg must be ~180deg, not 0.
+  std::vector<double> v{deg_to_rad(178.0), deg_to_rad(-178.0)};
+  const double m = circular_mean(v.begin(), v.end());
+  EXPECT_NEAR(angle_dist(m, kPi), 0.0, 1e-9);
+}
+
+TEST(Angle, CircularMeanEmptyIsZero) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(circular_mean(v.begin(), v.end()), 0.0);
+  EXPECT_DOUBLE_EQ(circular_stddev(v.begin(), v.end()), 0.0);
+}
+
+TEST(Angle, CircularStddevTightCluster) {
+  std::vector<double> v{0.0, 0.02, -0.02, 0.01, -0.01};
+  EXPECT_LT(circular_stddev(v.begin(), v.end()), 0.03);
+}
+
+TEST(Angle, CircularStddevSpreadIsLarger) {
+  std::vector<double> tight{1.0, 1.01, 0.99};
+  std::vector<double> wide{1.0, 2.0, 0.0};
+  EXPECT_LT(circular_stddev(tight.begin(), tight.end()),
+            circular_stddev(wide.begin(), wide.end()));
+}
+
+TEST(Angle, CircularStddevAcrossWrapNotInflated) {
+  // Cluster straddling the +-pi seam should have a small deviation.
+  std::vector<double> v{deg_to_rad(177.0), deg_to_rad(-177.0),
+                        deg_to_rad(179.0), deg_to_rad(-179.0)};
+  EXPECT_LT(circular_stddev(v.begin(), v.end()), deg_to_rad(5.0));
+}
+
+}  // namespace
+}  // namespace erpd::geom

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/car_following.hpp"
+#include "sim/types.hpp"
+
+namespace erpd::sim {
+namespace {
+
+TEST(Pipes, SafeDistanceScalesWithSpeed) {
+  const PipesModel pipes;
+  // One car length (4.5 m) per 10 mph.
+  EXPECT_NEAR(pipes.safe_distance(mph_to_ms(10.0)), 4.5, 1e-9);
+  EXPECT_NEAR(pipes.safe_distance(mph_to_ms(30.0)), 13.5, 1e-9);
+}
+
+TEST(Pipes, MinGapAtStandstill) {
+  const PipesModel pipes;
+  EXPECT_DOUBLE_EQ(pipes.safe_distance(0.0), pipes.min_gap);
+  EXPECT_TRUE(pipes.compliant(pipes.min_gap, 0.0));
+  EXPECT_FALSE(pipes.compliant(pipes.min_gap - 0.1, 0.0));
+}
+
+TEST(Pipes, ComplianceBoundary) {
+  const PipesModel pipes;
+  const double v = mph_to_ms(20.0);  // requires 9 m
+  EXPECT_TRUE(pipes.compliant(9.0, v));
+  EXPECT_FALSE(pipes.compliant(8.9, v));
+}
+
+TEST(Gipps, TimeGapCriterion) {
+  const GippsModel gipps;
+  EXPECT_DOUBLE_EQ(gipps.safe_time_gap(), 1.5);
+  // At 10 m/s a 15 m gap is exactly compliant.
+  EXPECT_TRUE(gipps.compliant(15.0, 10.0));
+  EXPECT_FALSE(gipps.compliant(14.9, 10.0));
+}
+
+TEST(Gipps, StandstillUsesDistanceGap) {
+  const GippsModel gipps;
+  EXPECT_TRUE(gipps.compliant(gipps.standstill_gap, 0.05));
+  EXPECT_FALSE(gipps.compliant(gipps.standstill_gap - 0.5, 0.05));
+}
+
+TEST(Gipps, FreeRoadAcceleratesTowardDesired) {
+  GippsModel gipps;
+  gipps.desired_speed = 15.0;
+  double v = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double nv = gipps.next_speed(
+        v, 0.0, std::numeric_limits<double>::infinity());
+    EXPECT_GE(nv, v - 1e-9);  // monotone approach from below
+    v = nv;
+  }
+  EXPECT_NEAR(v, 15.0, 0.5);
+  EXPECT_LE(v, 15.0 + 1e-9);
+}
+
+TEST(Gipps, BrakesWhenGapShrinks) {
+  const GippsModel gipps;
+  // Close behind a stopped leader: the braking branch must dominate.
+  const double v = gipps.next_speed(10.0, 0.0, 5.0);
+  EXPECT_LT(v, 10.0);
+}
+
+TEST(Gipps, NeverNegativeSpeed) {
+  const GippsModel gipps;
+  EXPECT_GE(gipps.next_speed(0.5, 0.0, 0.1), 0.0);
+  EXPECT_GE(gipps.next_speed(20.0, 0.0, 0.0), 0.0);
+}
+
+TEST(Gipps, SafeBehindStoppedLeader) {
+  // Iterating the Gipps law toward a stopped leader must never collide.
+  GippsModel gipps;
+  gipps.desired_speed = 14.0;
+  double x = 0.0;
+  double v = 14.0;
+  const double leader_x = 80.0;
+  const double dt = gipps.reaction_time;
+  for (int i = 0; i < 200; ++i) {
+    const double gap = leader_x - x;
+    ASSERT_GT(gap, 0.0) << "Gipps follower collided at step " << i;
+    const double nv = gipps.next_speed(v, 0.0, gap);
+    x += 0.5 * (v + nv) * dt;
+    v = nv;
+  }
+  EXPECT_LT(v, 0.2);
+}
+
+TEST(Idm, FreeRoadConvergesToDesiredSpeed) {
+  IdmModel idm;
+  idm.desired_speed = 12.0;
+  double v = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    v = std::max(0.0, v + idm.acceleration(v, 0.0, IdmModel::free_road()) * 0.05);
+  }
+  EXPECT_NEAR(v, 12.0, 0.2);
+}
+
+TEST(Idm, DeceleratesWhenTooClose) {
+  const IdmModel idm;
+  EXPECT_LT(idm.acceleration(10.0, 10.0, 2.0), 0.0);   // gap ~ s0
+  EXPECT_LT(idm.acceleration(10.0, 0.0, 20.0), -1.0);  // closing fast
+}
+
+TEST(Idm, ComfortableAtEquilibriumGap) {
+  const IdmModel idm;
+  // At the equilibrium gap (s0 + vT) with equal speeds, acceleration ~ only
+  // the small free-road deficit term.
+  const double v = 10.0;
+  const double eq_gap = idm.min_gap + v * idm.time_headway;
+  const double a = idm.acceleration(v, v, eq_gap);
+  EXPECT_NEAR(a, idm.max_accel * (1.0 - std::pow(v / idm.desired_speed, 4.0)) -
+                     idm.max_accel,
+              0.15);
+}
+
+TEST(Idm, NeverExceedsMaxAccel) {
+  const IdmModel idm;
+  for (double v = 0.0; v <= 15.0; v += 1.0) {
+    EXPECT_LE(idm.acceleration(v, 0.0, IdmModel::free_road()),
+              idm.max_accel + 1e-9);
+  }
+}
+
+TEST(Idm, FollowerNeverCollidesIntoBrakingLeader) {
+  // Property: an IDM follower with instantaneous perception starting at the
+  // equilibrium gap survives a full leader emergency stop.
+  const IdmModel idm;
+  double xf = 0.0;
+  double vf = 12.0;
+  double xl = idm.min_gap + vf * idm.time_headway + 4.5;
+  double vl = 12.0;
+  const double dt = 0.02;
+  for (int i = 0; i < 3000; ++i) {
+    vl = std::max(0.0, vl - 6.0 * dt);  // leader brakes hard to a stop
+    xl += vl * dt;
+    const double gap = xl - xf - 4.5;
+    ASSERT_GT(gap, -0.01) << "IDM follower collided at step " << i;
+    const double a = idm.acceleration(vf, vl, std::max(gap, 0.01));
+    vf = std::max(0.0, vf + a * dt);
+    xf += vf * dt;
+  }
+}
+
+class PipesGippsConsistency : public ::testing::TestWithParam<double> {};
+
+TEST_P(PipesGippsConsistency, BothModelsRequireMoreRoomAtSpeed) {
+  const double v = GetParam();
+  const PipesModel pipes;
+  const GippsModel gipps;
+  const double faster = v + 5.0;
+  EXPECT_GE(pipes.safe_distance(faster), pipes.safe_distance(v));
+  // Gipps: compliant gap at speed v is insufficient at faster speed.
+  const double gap = 1.5 * v;  // exactly compliant at v
+  if (v > 0.5) {
+    EXPECT_TRUE(gipps.compliant(gap, v));
+    EXPECT_FALSE(gipps.compliant(gap, faster));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, PipesGippsConsistency,
+                         ::testing::Values(0.0, 2.0, 5.0, 8.33, 11.1, 13.9));
+
+}  // namespace
+}  // namespace erpd::sim

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+#include "net/message.hpp"
+
+namespace erpd::net {
+namespace {
+
+TEST(Wireless, BudgetsFromMbps) {
+  WirelessConfig cfg;
+  cfg.uplink_mbps = 16.0;
+  cfg.downlink_mbps = 32.0;
+  cfg.frame_interval = 0.1;
+  EXPECT_EQ(cfg.uplink_budget_bytes(), 200000u);
+  EXPECT_EQ(cfg.downlink_budget_bytes(), 400000u);
+}
+
+TEST(FrameBudget, GrantAllOrNothing) {
+  FrameBudget b(100);
+  EXPECT_TRUE(b.try_grant(60));
+  EXPECT_FALSE(b.try_grant(50));
+  EXPECT_EQ(b.used(), 60u);
+  EXPECT_TRUE(b.try_grant(40));
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(FrameBudget, PartialGrant) {
+  FrameBudget b(100);
+  EXPECT_EQ(b.grant_partial(60), 60u);
+  EXPECT_EQ(b.grant_partial(60), 40u);
+  EXPECT_EQ(b.grant_partial(10), 0u);
+}
+
+TEST(FrameBudget, Reset) {
+  FrameBudget b(100);
+  b.grant_partial(100);
+  b.reset();
+  EXPECT_EQ(b.remaining(), 100u);
+}
+
+TEST(TransferDelay, LinearInBytes) {
+  // 1 MB over 8 Mbps = 1 s plus base latency.
+  EXPECT_NEAR(transfer_delay(1000000, 8.0, 0.01), 1.01, 1e-9);
+  EXPECT_DOUBLE_EQ(transfer_delay(0, 8.0, 0.01), 0.01);
+  // Degenerate bandwidth returns base latency.
+  EXPECT_DOUBLE_EQ(transfer_delay(1000, 0.0, 0.02), 0.02);
+}
+
+TEST(BandwidthMeter, Accumulates) {
+  BandwidthMeter m;
+  m.add(1000);
+  m.add(3000);
+  EXPECT_EQ(m.total_bytes(), 4000u);
+  EXPECT_EQ(m.frames(), 2u);
+  EXPECT_DOUBLE_EQ(m.bytes_per_frame(), 2000.0);
+  // 4000 B over 1 s = 0.032 Mbit/s.
+  EXPECT_NEAR(m.mbps(1.0), 0.032, 1e-9);
+  m.reset();
+  EXPECT_EQ(m.total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(m.bytes_per_frame(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mbps(0.0), 0.0);
+}
+
+TEST(UploadFrame, TotalBytesIncludesOverhead) {
+  UploadFrame f;
+  EXPECT_EQ(f.total_bytes(), UploadFrame::kFrameOverhead);
+  ObjectUpload o;
+  o.bytes = 500;
+  f.objects.push_back(o);
+  f.objects.push_back(o);
+  EXPECT_EQ(f.total_bytes(), UploadFrame::kFrameOverhead + 1000u);
+}
+
+}  // namespace
+}  // namespace erpd::net

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/angle.hpp"
+#include "geom/stats.hpp"
+#include "track/crowd_cluster.hpp"
+
+namespace erpd::track {
+namespace {
+
+using geom::Vec2;
+
+std::vector<CrowdEntity> group(Vec2 center, double heading, int n,
+                               std::mt19937_64& rng, double spread = 0.8,
+                               double heading_jitter = 0.03) {
+  std::normal_distribution<double> pos(0.0, spread);
+  std::normal_distribution<double> ang(0.0, heading_jitter);
+  std::vector<CrowdEntity> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back({center + Vec2{pos(rng), pos(rng)},
+                   geom::wrap_angle(heading + ang(rng)), 1.4});
+  }
+  return out;
+}
+
+void append(std::vector<CrowdEntity>& to, const std::vector<CrowdEntity>& v) {
+  to.insert(to.end(), v.begin(), v.end());
+}
+
+TEST(CrowdCluster, SingleCoherentGroupStaysTogether) {
+  std::mt19937_64 rng(1);
+  const auto entities = group({0.0, 0.0}, 0.0, 12, rng);
+  const auto res = cluster_crowd(entities);
+  EXPECT_EQ(res.clusters.size(), 1u);
+  EXPECT_EQ(res.clusters[0].members.size(), 12u);
+}
+
+TEST(CrowdCluster, OppositeHeadingsSplit) {
+  // Same location, two walking directions: location-only clustering keeps
+  // them together; the paper's algorithm must split them (Fig. 4a vs 4b).
+  std::mt19937_64 rng(2);
+  std::vector<CrowdEntity> entities = group({0.0, 0.0}, 0.0, 10, rng);
+  append(entities, group({0.5, 0.5}, geom::kPi / 2.0, 10, rng));
+  const auto ours = cluster_crowd(entities);
+  EXPECT_GE(ours.clusters.size(), 2u);
+  // Every final cluster satisfies the orientation constraint.
+  const double gamma = geom::deg_to_rad(5.0);
+  for (const auto& c : ours.clusters) {
+    std::vector<double> hs;
+    for (auto i : c.members) hs.push_back(entities[i].heading);
+    EXPECT_LE(geom::circular_stddev(hs.begin(), hs.end()), gamma + 1e-9);
+  }
+  // DBSCAN baseline lumps them (location only).
+  const auto base = cluster_crowd_dbscan(entities);
+  EXPECT_EQ(base.clusters.size(), 1u);
+}
+
+TEST(CrowdCluster, DistantGroupsSeparate) {
+  std::mt19937_64 rng(3);
+  std::vector<CrowdEntity> entities = group({0.0, 0.0}, 0.0, 8, rng);
+  append(entities, group({20.0, 0.0}, 0.0, 8, rng));
+  const auto res = cluster_crowd(entities);
+  EXPECT_EQ(res.clusters.size(), 2u);
+}
+
+TEST(CrowdCluster, WideGroupSplitsOnBeta) {
+  std::mt19937_64 rng(4);
+  // One heading but a very elongated blob: location stddev > beta forces a
+  // split even though orientations agree.
+  std::vector<CrowdEntity> entities;
+  for (int i = 0; i < 16; ++i) {
+    entities.push_back({{i * 1.2, 0.0}, 0.0, 1.4});
+  }
+  CrowdClusterConfig cfg;
+  cfg.location_eps = 2.0;  // chain-connected
+  cfg.beta = 2.0;
+  const auto res = cluster_crowd(entities, cfg);
+  EXPECT_GE(res.clusters.size(), 2u);
+  for (const auto& c : res.clusters) {
+    std::vector<Vec2> pts;
+    for (auto i : c.members) pts.push_back(entities[i].position);
+    EXPECT_LE(geom::location_stddev(pts), cfg.beta + 1e-9);
+  }
+}
+
+TEST(CrowdCluster, EveryEntityLabeledExactlyOnce) {
+  std::mt19937_64 rng(5);
+  std::vector<CrowdEntity> entities = group({0.0, 0.0}, 0.3, 9, rng);
+  append(entities, group({6.0, 2.0}, -1.2, 7, rng));
+  append(entities, group({-4.0, 8.0}, 2.8, 5, rng));
+  const auto res = cluster_crowd(entities);
+  ASSERT_EQ(res.labels.size(), entities.size());
+  std::vector<int> counts(res.clusters.size(), 0);
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    ASSERT_GE(res.labels[i], 0);
+    ASSERT_LT(static_cast<std::size_t>(res.labels[i]), res.clusters.size());
+    ++counts[static_cast<std::size_t>(res.labels[i])];
+  }
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < res.clusters.size(); ++c) {
+    EXPECT_EQ(static_cast<int>(res.clusters[c].members.size()), counts[c]);
+    total += res.clusters[c].members.size();
+  }
+  EXPECT_EQ(total, entities.size());
+}
+
+TEST(CrowdCluster, RepresentativeIsAMemberNearCentroid) {
+  std::mt19937_64 rng(6);
+  const auto entities = group({3.0, 3.0}, 0.0, 11, rng);
+  const auto res = cluster_crowd(entities);
+  ASSERT_EQ(res.clusters.size(), 1u);
+  const auto& c = res.clusters[0];
+  // Representative is a member...
+  EXPECT_NE(std::find(c.members.begin(), c.members.end(), c.representative),
+            c.members.end());
+  // ...and no member is closer to the centroid.
+  const double rep_d = distance(entities[c.representative].position, c.centroid);
+  for (auto i : c.members) {
+    EXPECT_GE(distance(entities[i].position, c.centroid) + 1e-12, rep_d);
+  }
+}
+
+TEST(CrowdCluster, EmptyAndSingleton) {
+  EXPECT_TRUE(cluster_crowd({}).clusters.empty());
+  const std::vector<CrowdEntity> one = {{{1.0, 2.0}, 0.5, 1.4}};
+  const auto res = cluster_crowd(one);
+  ASSERT_EQ(res.clusters.size(), 1u);
+  EXPECT_EQ(res.clusters[0].representative, 0u);
+}
+
+TEST(CrowdCluster, TerminatesOnAdversarialSpread) {
+  // Entities spread uniformly with random headings: worst case for the
+  // split loop; must terminate and satisfy constraints.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(-6.0, 6.0);
+  std::uniform_real_distribution<double> h(-geom::kPi, geom::kPi);
+  std::vector<CrowdEntity> entities;
+  for (int i = 0; i < 60; ++i) {
+    entities.push_back({{u(rng), u(rng)}, h(rng), 1.4});
+  }
+  const auto res = cluster_crowd(entities);
+  std::size_t total = 0;
+  for (const auto& c : res.clusters) total += c.members.size();
+  EXPECT_EQ(total, entities.size());
+}
+
+TEST(CrowdCluster, FinalLocationDeviationBeatsDbscan) {
+  // The paper's Fig. 4(c) claim, as a property: for mixed-direction crowds,
+  // orientation-aware clustering yields smaller final-location deviation.
+  std::mt19937_64 rng(8);
+  std::vector<CrowdEntity> entities = group({0.0, 0.0}, 0.0, 12, rng);
+  append(entities, group({1.0, 0.5}, geom::kPi / 2.0, 12, rng));
+  append(entities, group({14.0, 0.0}, geom::kPi, 10, rng));
+  const double t = 5.0;
+  const double ours =
+      final_location_deviation(entities, cluster_crowd(entities), t);
+  const double dbscan =
+      final_location_deviation(entities, cluster_crowd_dbscan(entities), t);
+  EXPECT_LT(ours, dbscan);
+}
+
+TEST(CrowdCluster, DeviationGrowsWithTime) {
+  std::mt19937_64 rng(9);
+  std::vector<CrowdEntity> entities = group({0.0, 0.0}, 0.0, 10, rng, 0.8, 0.2);
+  const auto res = cluster_crowd_dbscan(entities);
+  EXPECT_LE(final_location_deviation(entities, res, 1.0),
+            final_location_deviation(entities, res, 6.0));
+}
+
+}  // namespace
+}  // namespace erpd::track

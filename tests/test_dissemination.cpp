@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/dissemination.hpp"
+
+namespace erpd::core {
+namespace {
+
+Candidate cand(int track, sim::AgentId to, double rel, std::size_t bytes) {
+  return {track, to, rel, bytes, sim::kInvalidAgent};
+}
+
+TEST(Greedy, PicksBestAwardFirst) {
+  // Item B has a better relevance/size award despite lower relevance.
+  std::vector<Candidate> c = {
+      cand(1, 10, 0.9, 9000),  // award 1e-4
+      cand(2, 11, 0.5, 1000),  // award 5e-4
+  };
+  const Selection s = greedy_dissemination(c, 1500);
+  ASSERT_EQ(s.chosen.size(), 1u);
+  EXPECT_EQ(s.chosen[0].track_id, 2);
+}
+
+TEST(Greedy, FillsBudget) {
+  std::vector<Candidate> c = {
+      cand(1, 10, 0.5, 400),
+      cand(2, 10, 0.5, 400),
+      cand(3, 10, 0.5, 400),
+  };
+  const Selection s = greedy_dissemination(c, 900);
+  EXPECT_EQ(s.chosen.size(), 2u);
+  EXPECT_EQ(s.total_bytes, 800u);
+  EXPECT_DOUBLE_EQ(s.total_relevance, 1.0);
+}
+
+TEST(Greedy, SkipsUnfittableButContinues) {
+  std::vector<Candidate> c = {
+      cand(1, 10, 0.9, 1000),  // best award, taken
+      cand(2, 10, 0.8, 5000),  // does not fit, skipped
+      cand(3, 10, 0.1, 500),   // still fits
+  };
+  const Selection s = greedy_dissemination(c, 1600);
+  ASSERT_EQ(s.chosen.size(), 2u);
+  EXPECT_EQ(s.chosen[0].track_id, 1);
+  EXPECT_EQ(s.chosen[1].track_id, 3);
+}
+
+TEST(Greedy, NeverSendsZeroRelevance) {
+  std::vector<Candidate> c = {
+      cand(1, 10, 0.0, 100),
+      cand(2, 11, 0.0, 100),
+  };
+  const Selection s = greedy_dissemination(c, 10000);
+  EXPECT_TRUE(s.chosen.empty());
+}
+
+TEST(Greedy, EmptyInput) {
+  const Selection s = greedy_dissemination({}, 1000);
+  EXPECT_TRUE(s.chosen.empty());
+  EXPECT_EQ(s.total_bytes, 0u);
+}
+
+TEST(Greedy, RespectsBudgetExactly) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> rel(0.01, 1.0);
+  std::uniform_int_distribution<std::size_t> bytes(100, 5000);
+  std::vector<Candidate> c;
+  for (int i = 0; i < 200; ++i) {
+    c.push_back(cand(i, i % 10, rel(rng), bytes(rng)));
+  }
+  for (std::size_t budget : {0u, 1000u, 50000u, 200000u}) {
+    const Selection s = greedy_dissemination(c, budget);
+    EXPECT_LE(s.total_bytes, budget);
+  }
+}
+
+TEST(Optimal, MatchesBruteForceSmall) {
+  // 6 items vs exhaustive search.
+  const std::vector<Candidate> c = {
+      cand(0, 1, 0.6, 300), cand(1, 1, 0.5, 250), cand(2, 1, 0.9, 600),
+      cand(3, 1, 0.2, 100), cand(4, 1, 0.8, 450), cand(5, 1, 0.4, 200),
+  };
+  const std::size_t budget = 1000;
+  double best = 0.0;
+  for (int mask = 0; mask < 64; ++mask) {
+    std::size_t w = 0;
+    double v = 0.0;
+    for (int i = 0; i < 6; ++i) {
+      if (mask & (1 << i)) {
+        w += c[static_cast<std::size_t>(i)].bytes;
+        v += c[static_cast<std::size_t>(i)].relevance;
+      }
+    }
+    if (w <= budget) best = std::max(best, v);
+  }
+  const Selection s = optimal_dissemination(c, budget, 1);
+  EXPECT_NEAR(s.total_relevance, best, 1e-9);
+  EXPECT_LE(s.total_bytes, budget);
+}
+
+TEST(Optimal, GreedyNeverBeatsOptimal) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> rel(0.01, 1.0);
+  std::uniform_int_distribution<std::size_t> bytes(200, 4000);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Candidate> c;
+    for (int i = 0; i < 40; ++i) {
+      c.push_back(cand(i, 1, rel(rng), bytes(rng)));
+    }
+    const std::size_t budget = 20000;
+    const Selection g = greedy_dissemination(c, budget);
+    const Selection o = optimal_dissemination(c, budget, 1);
+    EXPECT_LE(g.total_relevance, o.total_relevance + 1e-9)
+        << "trial " << trial;
+    EXPECT_LE(o.total_bytes, budget);
+  }
+}
+
+TEST(Optimal, GreedyIsNearOptimal) {
+  // The R/s greedy should typically land within a few percent of optimal
+  // for realistic candidate mixes (paper justification for Algorithm 1).
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> rel(0.01, 1.0);
+  std::uniform_int_distribution<std::size_t> bytes(500, 3000);
+  double worst_ratio = 1.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Candidate> c;
+    for (int i = 0; i < 60; ++i) {
+      c.push_back(cand(i, 1, rel(rng), bytes(rng)));
+    }
+    const Selection g = greedy_dissemination(c, 30000);
+    const Selection o = optimal_dissemination(c, 30000, 1);
+    if (o.total_relevance > 0.0) {
+      worst_ratio = std::min(worst_ratio, g.total_relevance / o.total_relevance);
+    }
+  }
+  EXPECT_GT(worst_ratio, 0.9);
+}
+
+TEST(Optimal, ZeroResolutionThrows) {
+  EXPECT_THROW(optimal_dissemination({}, 100, 0), std::invalid_argument);
+}
+
+TEST(RoundRobin, RotationContinuesAcrossFrames) {
+  const std::vector<Candidate> c = {
+      cand(0, 1, 0.0, 400), cand(1, 1, 0.0, 400), cand(2, 1, 0.0, 400),
+      cand(3, 1, 0.0, 400),
+  };
+  std::size_t cursor = 0;
+  // Budget fits 2 items per frame.
+  const Selection f1 = round_robin_dissemination(c, 900, cursor);
+  ASSERT_EQ(f1.chosen.size(), 2u);
+  EXPECT_EQ(f1.chosen[0].track_id, 0);
+  EXPECT_EQ(f1.chosen[1].track_id, 1);
+  const Selection f2 = round_robin_dissemination(c, 900, cursor);
+  ASSERT_EQ(f2.chosen.size(), 2u);
+  EXPECT_EQ(f2.chosen[0].track_id, 2);
+  EXPECT_EQ(f2.chosen[1].track_id, 3);
+  const Selection f3 = round_robin_dissemination(c, 900, cursor);
+  EXPECT_EQ(f3.chosen[0].track_id, 0);  // wrapped around
+}
+
+TEST(RoundRobin, IgnoresRelevance) {
+  // RR sends low-relevance items that greedy would never pick.
+  const std::vector<Candidate> c = {
+      cand(0, 1, 0.0, 400),
+      cand(1, 1, 0.99, 400),
+  };
+  std::size_t cursor = 0;
+  const Selection s = round_robin_dissemination(c, 450, cursor);
+  ASSERT_EQ(s.chosen.size(), 1u);
+  EXPECT_EQ(s.chosen[0].track_id, 0);
+}
+
+TEST(RoundRobin, WholeListFitsResetsCursor) {
+  const std::vector<Candidate> c = {cand(0, 1, 0.0, 100), cand(1, 1, 0.0, 100)};
+  std::size_t cursor = 0;
+  const Selection s = round_robin_dissemination(c, 10000, cursor);
+  EXPECT_EQ(s.chosen.size(), 2u);
+  EXPECT_EQ(cursor, 0u);
+}
+
+TEST(RoundRobin, EmptyInput) {
+  std::size_t cursor = 5;
+  const Selection s = round_robin_dissemination({}, 1000, cursor);
+  EXPECT_TRUE(s.chosen.empty());
+}
+
+TEST(Broadcast, SendsEverything) {
+  const std::vector<Candidate> c = {
+      cand(0, 1, 0.1, 1000), cand(1, 2, 0.0, 2000), cand(2, 3, 0.9, 3000)};
+  const Selection s = broadcast_dissemination(c);
+  EXPECT_EQ(s.chosen.size(), 3u);
+  EXPECT_EQ(s.total_bytes, 6000u);
+  EXPECT_NEAR(s.total_relevance, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace erpd::core

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pointcloud/encoding.hpp"
+
+namespace erpd::pc {
+namespace {
+
+using geom::Vec3;
+
+PointCloud random_cloud(int n, double extent, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(-extent, extent);
+  PointCloud c;
+  for (int i = 0; i < n; ++i) c.push_back({u(rng), u(rng), u(rng) * 0.1});
+  return c;
+}
+
+TEST(Encoding, RoundTripWithinResolution) {
+  std::mt19937_64 rng(5);
+  const PointCloud c = random_cloud(500, 25.0, rng);
+  const EncodingConfig cfg{0.02};
+  const PointCloud d = decode(encode(c, cfg));
+  ASSERT_EQ(d.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(d[i].x, c[i].x, cfg.resolution);
+    EXPECT_NEAR(d[i].y, c[i].y, cfg.resolution);
+    EXPECT_NEAR(d[i].z, c[i].z, cfg.resolution);
+  }
+}
+
+TEST(Encoding, EmptyCloudRoundTrip) {
+  const EncodedCloud e = encode(PointCloud{});
+  EXPECT_EQ(e.point_count, 0u);
+  EXPECT_TRUE(decode(e).empty());
+}
+
+TEST(Encoding, SizeMatchesModel) {
+  std::mt19937_64 rng(6);
+  for (int n : {0, 1, 10, 1000}) {
+    const PointCloud c = random_cloud(n, 10.0, rng);
+    const EncodedCloud e = encode(c);
+    EXPECT_EQ(e.size_bytes(), encoded_size_bytes(static_cast<std::size_t>(n)));
+  }
+}
+
+TEST(Encoding, SixBytesPerPointPlusHeader) {
+  const std::size_t h = encoded_size_bytes(0);
+  EXPECT_EQ(encoded_size_bytes(100) - h, 600u);
+}
+
+TEST(Encoding, CompressionBeatsRawFormat) {
+  // The wire format must be meaningfully smaller than the 16 B/point raw
+  // sensor format for realistic per-object clouds.
+  std::mt19937_64 rng(7);
+  const PointCloud c = random_cloud(2000, 5.0, rng);
+  const EncodedCloud e = encode(c);
+  EXPECT_LT(e.size_bytes() * 2, c.raw_size_bytes());
+}
+
+TEST(Encoding, OversizedExtentThrows) {
+  PointCloud c{{{0, 0, 0}, {2000.0, 0.0, 0.0}}};
+  EXPECT_THROW(encode(c, {0.02}), std::invalid_argument);
+  // But a coarser resolution can cover it.
+  EXPECT_NO_THROW(encode(c, {0.05}));
+}
+
+TEST(Encoding, InvalidResolutionThrows) {
+  EXPECT_THROW(encode(PointCloud{}, {0.0}), std::invalid_argument);
+}
+
+TEST(Encoding, TruncatedBufferThrows) {
+  std::mt19937_64 rng(8);
+  EncodedCloud e = encode(random_cloud(10, 5.0, rng));
+  e.bytes.resize(e.bytes.size() - 3);
+  EXPECT_THROW(decode(e), std::invalid_argument);
+  e.bytes.resize(4);
+  EXPECT_THROW(decode(e), std::invalid_argument);
+}
+
+TEST(Encoding, NegativeCoordinatesSurvive) {
+  PointCloud c{{{-100.0, -50.0, -2.0}, {-99.5, -49.0, -1.0}}};
+  const PointCloud d = decode(encode(c));
+  EXPECT_NEAR(d[0].x, -100.0, 0.02);
+  EXPECT_NEAR(d[1].z, -1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace erpd::pc

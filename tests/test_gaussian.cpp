@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/angle.hpp"
+#include "geom/gaussian2d.hpp"
+
+namespace erpd::geom {
+namespace {
+
+TEST(Gaussian2D, PdfPeaksAtMean) {
+  const Gaussian2D g{{2.0, -1.0}, 1.0, 2.0, 0.3};
+  const double at_mean = g.pdf({2.0, -1.0});
+  EXPECT_GT(at_mean, g.pdf({3.0, -1.0}));
+  EXPECT_GT(at_mean, g.pdf({2.0, 1.0}));
+}
+
+TEST(Gaussian2D, StandardNormalPdfValue) {
+  const Gaussian2D g;  // standard normal
+  EXPECT_NEAR(g.pdf({0.0, 0.0}), 1.0 / kTwoPi, 1e-12);
+}
+
+TEST(Gaussian2D, MahalanobisIsotropic) {
+  const Gaussian2D g{{0.0, 0.0}, 2.0, 2.0, 0.0};
+  EXPECT_NEAR(g.mahalanobis_sq({2.0, 0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(g.mahalanobis_sq({0.0, 4.0}), 4.0, 1e-12);
+}
+
+TEST(Gaussian2D, InvalidParamsThrow) {
+  EXPECT_THROW((Gaussian2D{{0, 0}, -1.0, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((Gaussian2D{{0, 0}, 1.0, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((Gaussian2D{{0, 0}, 1.0, 1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Gaussian2D, MassInCircleApproachesOne) {
+  const Gaussian2D g{{0.0, 0.0}, 1.0, 1.0, 0.0};
+  EXPECT_NEAR(g.mass_in_circle({0.0, 0.0}, 6.0), 1.0, 2e-3);
+}
+
+TEST(Gaussian2D, MassInOneSigmaDisk) {
+  // For an isotropic Gaussian, the disk of radius sigma holds 1 - e^{-1/2}.
+  const Gaussian2D g{{0.0, 0.0}, 1.0, 1.0, 0.0};
+  EXPECT_NEAR(g.mass_in_circle({0.0, 0.0}, 1.0), 1.0 - std::exp(-0.5), 5e-3);
+}
+
+TEST(Gaussian2D, MassMonotoneInRadius) {
+  const Gaussian2D g{{1.0, 1.0}, 1.5, 0.8, -0.4};
+  double prev = 0.0;
+  for (double r = 0.5; r <= 4.0; r += 0.5) {
+    const double m = g.mass_in_circle({1.0, 1.0}, r);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(Gaussian2D, MassDecaysWithDistance) {
+  const Gaussian2D g{{0.0, 0.0}, 1.0, 1.0, 0.0};
+  EXPECT_GT(g.mass_in_circle({0.0, 0.0}, 1.0),
+            g.mass_in_circle({3.0, 0.0}, 1.0));
+}
+
+TEST(Gaussian2D, ZeroRadiusMassIsZero) {
+  const Gaussian2D g;
+  EXPECT_DOUBLE_EQ(g.mass_in_circle({0.0, 0.0}, 0.0), 0.0);
+}
+
+TEST(Gaussian2D, SampleMomentsMatch) {
+  const Gaussian2D g{{3.0, -2.0}, 1.5, 0.5, 0.6};
+  std::mt19937_64 rng(42);
+  const int n = 20000;
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  double sxy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p = g.sample(rng);
+    sx += p.x;
+    sy += p.y;
+    sxx += p.x * p.x;
+    syy += p.y * p.y;
+    sxy += p.x * p.y;
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  EXPECT_NEAR(mx, 3.0, 0.05);
+  EXPECT_NEAR(my, -2.0, 0.03);
+  EXPECT_NEAR(sxx / n - mx * mx, 1.5 * 1.5, 0.1);
+  EXPECT_NEAR(syy / n - my * my, 0.25, 0.02);
+  EXPECT_NEAR((sxy / n - mx * my) / (1.5 * 0.5), 0.6, 0.05);
+}
+
+TEST(Gaussian2D, ConvolutionAddsVariances) {
+  const Gaussian2D a{{1.0, 0.0}, 1.0, 2.0, 0.0};
+  const Gaussian2D b{{2.0, 3.0}, 2.0, 1.0, 0.0};
+  const Gaussian2D c = a.convolved(b);
+  EXPECT_EQ(c.mean(), Vec2(3.0, 3.0));
+  EXPECT_NEAR(c.sigma_x(), std::sqrt(5.0), 1e-12);
+  EXPECT_NEAR(c.sigma_y(), std::sqrt(5.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace erpd::geom

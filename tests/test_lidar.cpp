@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/angle.hpp"
+#include "sim/lidar.hpp"
+
+namespace erpd::sim {
+namespace {
+
+using geom::Obb;
+using geom::Pose;
+using geom::Vec2;
+
+LidarConfig small_lidar() {
+  LidarConfig cfg;
+  cfg.channels = 16;
+  cfg.azimuth_step_deg = 1.0;
+  cfg.max_range = 50.0;
+  cfg.noise_sigma = 0.0;
+  return cfg;
+}
+
+Pose sensor_at(Vec2 xy, double yaw = 0.0) {
+  Pose p;
+  p.position = {xy, 1.8};
+  p.yaw = yaw;
+  return p;
+}
+
+TEST(Lidar, SeesTargetInRange) {
+  LidarSensor lidar(small_lidar());
+  std::mt19937_64 rng(1);
+  const std::vector<LidarTarget> targets = {
+      {Obb{{10.0, 0.0}, 0.0, 4.5, 1.9}, 0.0, 1.6, 7}};
+  const LidarScan scan = lidar.scan(sensor_at({0.0, 0.0}), targets, rng);
+  EXPECT_TRUE(scan.sees(7));
+  EXPECT_GT(scan.points_per_agent.at(7), 5u);
+}
+
+TEST(Lidar, DoesNotSeeBeyondRange) {
+  LidarSensor lidar(small_lidar());
+  std::mt19937_64 rng(2);
+  const std::vector<LidarTarget> targets = {
+      {Obb{{80.0, 0.0}, 0.0, 4.5, 1.9}, 0.0, 1.6, 7}};
+  const LidarScan scan = lidar.scan(sensor_at({0.0, 0.0}), targets, rng);
+  EXPECT_FALSE(scan.sees(7));
+}
+
+TEST(Lidar, OcclusionBlocksHiddenTarget) {
+  LidarSensor lidar(small_lidar());
+  std::mt19937_64 rng(3);
+  // A tall truck between the sensor and a pedestrian directly behind it.
+  const std::vector<LidarTarget> targets = {
+      {Obb{{10.0, 0.0}, 0.0, 8.5, 2.5}, 0.0, 3.4, 1},   // truck
+      {Obb{{20.0, 0.0}, 0.0, 0.5, 0.5}, 0.0, 1.75, 2},  // pedestrian
+  };
+  const LidarScan scan = lidar.scan(sensor_at({0.0, 0.0}), targets, rng);
+  EXPECT_TRUE(scan.sees(1));
+  EXPECT_FALSE(scan.sees(2)) << "pedestrian behind truck must be occluded";
+}
+
+TEST(Lidar, TargetVisibleWhenNotAligned) {
+  LidarSensor lidar(small_lidar());
+  std::mt19937_64 rng(4);
+  // Same scene but the pedestrian stands to the side of the truck.
+  const std::vector<LidarTarget> targets = {
+      {Obb{{10.0, 0.0}, 0.0, 8.5, 2.5}, 0.0, 3.4, 1},
+      {Obb{{10.0, 10.0}, 0.0, 0.5, 0.5}, 0.0, 1.75, 2},
+  };
+  const LidarScan scan = lidar.scan(sensor_at({0.0, 0.0}), targets, rng);
+  EXPECT_TRUE(scan.sees(2));
+}
+
+TEST(Lidar, GroundReturnsAtSensorHeightBand) {
+  LidarSensor lidar(small_lidar());
+  std::mt19937_64 rng(5);
+  const LidarScan scan = lidar.scan(sensor_at({0.0, 0.0}), {}, rng);
+  EXPECT_GT(scan.ground_points, 0u);
+  // All returns must be ground (sensor frame z ~= -1.8).
+  for (const geom::Vec3& p : scan.cloud.points()) {
+    EXPECT_NEAR(p.z, -1.8, 1e-6);
+  }
+}
+
+TEST(Lidar, PointsAreInSensorFrame) {
+  LidarSensor lidar(small_lidar());
+  std::mt19937_64 rng(6);
+  // Sensor displaced and rotated: a target 10 m in front of the sensor's
+  // nose must appear near (10, 0) in the sensor frame.
+  const Pose pose = sensor_at({100.0, 50.0}, geom::kPi / 2.0);
+  const std::vector<LidarTarget> targets = {
+      {Obb{{100.0, 60.0}, geom::kPi / 2.0, 4.5, 1.9}, 0.0, 1.6, 3}};
+  const LidarScan scan = lidar.scan(pose, targets, rng);
+  ASSERT_TRUE(scan.sees(3));
+  int near_nose = 0;
+  for (const geom::Vec3& p : scan.cloud.points()) {
+    if (p.z > -1.0 && std::abs(p.y) < 3.0 && p.x > 5.0 && p.x < 10.0) {
+      ++near_nose;
+    }
+  }
+  EXPECT_GT(near_nose, 0);
+}
+
+TEST(Lidar, StaticTargetsCountedSeparately) {
+  LidarSensor lidar(small_lidar());
+  std::mt19937_64 rng(7);
+  const std::vector<LidarTarget> targets = {
+      {Obb{{15.0, 5.0}, 0.0, 20.0, 20.0}, 0.0, 10.0, -5}};  // building
+  const LidarScan scan = lidar.scan(sensor_at({0.0, 0.0}), targets, rng);
+  EXPECT_GT(scan.static_points, 0u);
+  EXPECT_TRUE(scan.points_per_agent.empty());
+}
+
+TEST(Lidar, MorePointsOnCloserTargets) {
+  LidarSensor lidar(small_lidar());
+  std::mt19937_64 rng(8);
+  const std::vector<LidarTarget> near_t = {
+      {Obb{{8.0, 0.0}, 0.0, 4.5, 1.9}, 0.0, 1.6, 1}};
+  const std::vector<LidarTarget> far_t = {
+      {Obb{{40.0, 0.0}, 0.0, 4.5, 1.9}, 0.0, 1.6, 1}};
+  const auto s_near = lidar.scan(sensor_at({0.0, 0.0}), near_t, rng);
+  const auto s_far = lidar.scan(sensor_at({0.0, 0.0}), far_t, rng);
+  EXPECT_GT(s_near.points_per_agent.at(1), s_far.points_per_agent.at(1));
+}
+
+TEST(Lidar, PointBudgetMatchesConfig) {
+  LidarConfig cfg = small_lidar();
+  EXPECT_EQ(cfg.azimuth_count(), 360);
+  EXPECT_EQ(cfg.max_points(), 360u * 16u);
+  LidarSensor lidar(cfg);
+  std::mt19937_64 rng(9);
+  const LidarScan scan = lidar.scan(sensor_at({0.0, 0.0}), {}, rng);
+  EXPECT_LE(scan.cloud.size(), cfg.max_points());
+}
+
+TEST(LineOfSight, ClearAndBlocked) {
+  const std::vector<Obb> occluders = {Obb{{5.0, 0.0}, 0.0, 2.0, 2.0}};
+  EXPECT_FALSE(line_of_sight({0.0, 0.0}, {10.0, 0.0}, occluders));
+  EXPECT_TRUE(line_of_sight({0.0, 0.0}, {10.0, 10.0}, occluders));
+  EXPECT_TRUE(line_of_sight({0.0, 0.0}, {10.0, 0.0}, {}));
+}
+
+TEST(LineOfSight, GrazingEdge) {
+  const std::vector<Obb> occluders = {Obb{{5.0, 2.0}, 0.0, 2.0, 2.0}};
+  // Segment passes just below the box (box spans y in [1, 3]).
+  EXPECT_TRUE(line_of_sight({0.0, 0.0}, {10.0, 0.5}, occluders));
+  EXPECT_FALSE(line_of_sight({0.0, 0.0}, {10.0, 4.0}, occluders));
+}
+
+}  // namespace
+}  // namespace erpd::sim

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "geom/angle.hpp"
+#include "geom/obb.hpp"
+
+namespace erpd::geom {
+namespace {
+
+TEST(Obb, CornersOfAxisAlignedBox) {
+  const Obb box{{0.0, 0.0}, 0.0, 4.0, 2.0};
+  const auto c = box.corners();
+  // front-left, rear-left, rear-right, front-right
+  EXPECT_NEAR(c[0].x, 2.0, 1e-12);
+  EXPECT_NEAR(c[0].y, 1.0, 1e-12);
+  EXPECT_NEAR(c[2].x, -2.0, 1e-12);
+  EXPECT_NEAR(c[2].y, -1.0, 1e-12);
+}
+
+TEST(Obb, ContainsInsideOutside) {
+  const Obb box{{5.0, 5.0}, kPi / 4.0, 4.0, 2.0};
+  EXPECT_TRUE(box.contains({5.0, 5.0}));
+  EXPECT_TRUE(box.contains(box.corners()[0]));
+  EXPECT_FALSE(box.contains({9.0, 5.0}));
+}
+
+TEST(Obb, OverlapsSeparatedBoxes) {
+  const Obb a{{0.0, 0.0}, 0.0, 4.0, 2.0};
+  const Obb b{{10.0, 0.0}, 0.0, 4.0, 2.0};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(b.overlaps(a));
+}
+
+TEST(Obb, OverlapsIntersectingBoxes) {
+  const Obb a{{0.0, 0.0}, 0.0, 4.0, 2.0};
+  const Obb b{{3.0, 0.0}, 0.0, 4.0, 2.0};
+  EXPECT_TRUE(a.overlaps(b));
+}
+
+TEST(Obb, OverlapsRotatedNearMiss) {
+  // Diamond (45 deg) next to a box: corners interleave without overlap.
+  const Obb a{{0.0, 0.0}, 0.0, 2.0, 2.0};
+  const Obb b{{2.5, 0.0}, kPi / 4.0, 2.0, 2.0};
+  EXPECT_FALSE(a.overlaps(b));
+  const Obb c{{1.8, 0.0}, kPi / 4.0, 2.0, 2.0};
+  EXPECT_TRUE(a.overlaps(c));
+}
+
+TEST(Obb, DistanceZeroWhenOverlapping) {
+  const Obb a{{0.0, 0.0}, 0.0, 4.0, 2.0};
+  const Obb b{{1.0, 0.0}, 0.3, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 0.0);
+}
+
+TEST(Obb, DistanceBetweenParallelBoxes) {
+  const Obb a{{0.0, 0.0}, 0.0, 4.0, 2.0};
+  const Obb b{{10.0, 0.0}, 0.0, 4.0, 2.0};
+  // Facing edges at x=2 and x=8.
+  EXPECT_NEAR(a.distance_to(b), 6.0, 1e-9);
+  EXPECT_NEAR(b.distance_to(a), 6.0, 1e-9);
+}
+
+TEST(Obb, DistanceToPoint) {
+  const Obb a{{0.0, 0.0}, 0.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.distance_to(Vec2{0.0, 0.0}), 0.0);
+  EXPECT_NEAR(a.distance_to(Vec2{5.0, 0.0}), 3.0, 1e-12);
+  EXPECT_NEAR(a.distance_to(Vec2{2.0 + 3.0, 1.0 + 4.0}), 5.0, 1e-12);
+}
+
+TEST(Obb, RayHitFrontFace) {
+  const Obb a{{10.0, 0.0}, 0.0, 4.0, 2.0};
+  const Segment ray{{0.0, 0.0}, {20.0, 0.0}};
+  const double t = a.ray_hit(ray);
+  ASSERT_GE(t, 0.0);
+  EXPECT_NEAR(t * 20.0, 8.0, 1e-9);  // hits the near face at x=8
+}
+
+TEST(Obb, RayMiss) {
+  const Obb a{{10.0, 5.0}, 0.0, 4.0, 2.0};
+  const Segment ray{{0.0, 0.0}, {20.0, 0.0}};
+  EXPECT_LT(a.ray_hit(ray), 0.0);
+}
+
+TEST(Obb, RayFromInsideHitsAtZero) {
+  const Obb a{{0.0, 0.0}, 0.0, 4.0, 2.0};
+  const Segment ray{{0.0, 0.0}, {20.0, 0.0}};
+  EXPECT_DOUBLE_EQ(a.ray_hit(ray), 0.0);
+}
+
+TEST(Obb, AabbBoundsRotatedBox) {
+  const Obb a{{0.0, 0.0}, kPi / 4.0, 2.0, 2.0};
+  const Aabb box = a.aabb();
+  const double half_diag = std::sqrt(2.0);
+  EXPECT_NEAR(box.max.x, half_diag, 1e-9);
+  EXPECT_NEAR(box.min.y, -half_diag, 1e-9);
+}
+
+TEST(Obb, MaxExtent) {
+  EXPECT_DOUBLE_EQ((Obb{{0, 0}, 0.0, 4.5, 1.9}).max_extent(), 4.5);
+  EXPECT_DOUBLE_EQ((Obb{{0, 0}, 0.0, 0.5, 0.6}).max_extent(), 0.6);
+}
+
+class ObbOverlapSymmetry
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ObbOverlapSymmetry, OverlapIsSymmetric) {
+  const auto [dx, heading] = GetParam();
+  const Obb a{{0.0, 0.0}, 0.0, 4.0, 2.0};
+  const Obb b{{dx, 1.0}, heading, 4.0, 2.0};
+  EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ObbOverlapSymmetry,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 2.5, 4.0, 6.0),
+                       ::testing::Values(0.0, 0.5, 1.0, kPi / 2.0)));
+
+}  // namespace
+}  // namespace erpd::geom

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "geom/polyline.hpp"
+
+namespace erpd::geom {
+namespace {
+
+Polyline lshape() {
+  // 10 m east then 10 m north.
+  return Polyline{{{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}}};
+}
+
+TEST(Polyline, LengthAccumulates) {
+  EXPECT_DOUBLE_EQ(lshape().length(), 20.0);
+  EXPECT_DOUBLE_EQ(Polyline{}.length(), 0.0);
+}
+
+TEST(Polyline, PointAtWalksSegments) {
+  const Polyline p = lshape();
+  EXPECT_EQ(p.point_at(0.0), Vec2(0.0, 0.0));
+  EXPECT_EQ(p.point_at(5.0), Vec2(5.0, 0.0));
+  EXPECT_EQ(p.point_at(10.0), Vec2(10.0, 0.0));
+  EXPECT_EQ(p.point_at(15.0), Vec2(10.0, 5.0));
+  EXPECT_EQ(p.point_at(20.0), Vec2(10.0, 10.0));
+  // Clamped outside.
+  EXPECT_EQ(p.point_at(-3.0), Vec2(0.0, 0.0));
+  EXPECT_EQ(p.point_at(99.0), Vec2(10.0, 10.0));
+}
+
+TEST(Polyline, TangentFollowsSegmentDirection) {
+  const Polyline p = lshape();
+  EXPECT_NEAR(p.tangent_at(5.0).x, 1.0, 1e-12);
+  EXPECT_NEAR(p.tangent_at(15.0).y, 1.0, 1e-12);
+  EXPECT_NEAR(p.heading_at(15.0), std::numbers::pi / 2.0, 1e-12);
+}
+
+TEST(Polyline, ProjectFindsClosestArcLength) {
+  const Polyline p = lshape();
+  double d = 0.0;
+  EXPECT_NEAR(p.project({5.0, 2.0}, &d), 5.0, 1e-12);
+  EXPECT_NEAR(d, 2.0, 1e-12);
+  EXPECT_NEAR(p.project({12.0, 5.0}, &d), 15.0, 1e-12);
+  EXPECT_NEAR(d, 2.0, 1e-12);
+  // Corner region projects to the corner.
+  EXPECT_NEAR(p.project({11.0, -1.0}, &d), 10.0, 1e-12);
+}
+
+TEST(Polyline, SliceKeepsGeometry) {
+  const Polyline p = lshape();
+  const Polyline s = p.slice(5.0, 15.0);
+  EXPECT_NEAR(s.length(), 10.0, 1e-12);
+  EXPECT_EQ(s.point_at(0.0), Vec2(5.0, 0.0));
+  EXPECT_EQ(s.point_at(5.0), Vec2(10.0, 0.0));  // corner preserved
+  EXPECT_EQ(s.point_at(10.0), Vec2(10.0, 5.0));
+}
+
+TEST(Polyline, SliceClampsBeyondEnds) {
+  const Polyline p = lshape();
+  const Polyline s = p.slice(-5.0, 100.0);
+  EXPECT_NEAR(s.length(), 20.0, 1e-12);
+}
+
+TEST(Polyline, PushBackExtends) {
+  Polyline p;
+  p.push_back({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.length(), 0.0);
+  p.push_back({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(p.length(), 5.0);
+  p.push_back({3.0, 14.0});
+  EXPECT_DOUBLE_EQ(p.length(), 15.0);
+}
+
+TEST(Polyline, CircleIntervalsStraightThrough) {
+  const Polyline p{{{-10.0, 0.0}, {10.0, 0.0}}};
+  const auto ivs = p.circle_intervals({0.0, 0.0}, 4.0);
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_NEAR(ivs[0].lo, 6.0, 1e-9);
+  EXPECT_NEAR(ivs[0].hi, 14.0, 1e-9);
+}
+
+TEST(Polyline, CircleIntervalsMergeAcrossVertices) {
+  // Vertex inside the circle must not split the interval.
+  const Polyline p{{{-10.0, 0.0}, {0.0, 0.0}, {10.0, 0.0}}};
+  const auto ivs = p.circle_intervals({0.0, 0.0}, 4.0);
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_NEAR(ivs[0].lo, 6.0, 1e-9);
+  EXPECT_NEAR(ivs[0].hi, 14.0, 1e-9);
+}
+
+TEST(Polyline, CircleIntervalsReentry) {
+  // A U-shaped path that enters the disk twice.
+  const Polyline p{{{-10.0, 3.0}, {10.0, 3.0}, {10.0, -3.0}, {-10.0, -3.0}}};
+  const auto ivs = p.circle_intervals({0.0, 0.0}, 4.0);
+  EXPECT_EQ(ivs.size(), 2u);
+}
+
+TEST(Polyline, FirstCrossingBasic) {
+  const Polyline a{{{0.0, 0.0}, {10.0, 0.0}}};
+  const Polyline b{{{5.0, -5.0}, {5.0, 5.0}}};
+  const auto c = a.first_crossing(b);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->s_this, 5.0, 1e-12);
+  EXPECT_NEAR(c->s_other, 5.0, 1e-12);
+  EXPECT_NEAR(c->point.x, 5.0, 1e-12);
+}
+
+TEST(Polyline, FirstCrossingPicksEarliest) {
+  const Polyline a{{{0.0, 0.0}, {20.0, 0.0}}};
+  // b crosses a twice; the earliest crossing along `a` is at x = 5.
+  const Polyline b{{{5.0, -5.0}, {5.0, 5.0}, {15.0, 5.0}, {15.0, -5.0}}};
+  const auto c = a.first_crossing(b);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->s_this, 5.0, 1e-9);
+}
+
+TEST(Polyline, NoCrossing) {
+  const Polyline a{{{0.0, 0.0}, {10.0, 0.0}}};
+  const Polyline b{{{0.0, 5.0}, {10.0, 5.0}}};
+  EXPECT_FALSE(a.first_crossing(b).has_value());
+}
+
+TEST(Polyline, ResampledPreservesEndpointsAndLength) {
+  const Polyline p = lshape();
+  const Polyline r = p.resampled(0.5);
+  EXPECT_EQ(r.points().front(), p.points().front());
+  EXPECT_EQ(r.points().back(), p.points().back());
+  EXPECT_NEAR(r.length(), p.length(), 0.1);
+  EXPECT_GT(r.size(), p.size());
+}
+
+TEST(Polyline, ProjectOnEmptyThrows) {
+  Polyline p;
+  EXPECT_THROW(p.project({0.0, 0.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace erpd::geom

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "geom/segment.hpp"
+
+namespace erpd::geom {
+namespace {
+
+TEST(SegmentIntersect, CrossingSegments) {
+  const Segment a{{0.0, 0.0}, {10.0, 0.0}};
+  const Segment b{{5.0, -5.0}, {5.0, 5.0}};
+  const auto hit = intersect(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->point.x, 5.0, 1e-12);
+  EXPECT_NEAR(hit->point.y, 0.0, 1e-12);
+  EXPECT_NEAR(hit->t_first, 0.5, 1e-12);
+  EXPECT_NEAR(hit->t_second, 0.5, 1e-12);
+}
+
+TEST(SegmentIntersect, NonCrossingParallel) {
+  const Segment a{{0.0, 0.0}, {10.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {10.0, 1.0}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(SegmentIntersect, DisjointColinear) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{2.0, 0.0}, {3.0, 0.0}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(SegmentIntersect, OverlappingColinearReportsFirstOverlap) {
+  const Segment a{{0.0, 0.0}, {10.0, 0.0}};
+  const Segment b{{4.0, 0.0}, {20.0, 0.0}};
+  const auto hit = intersect(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->point.x, 4.0, 1e-9);
+  EXPECT_NEAR(hit->t_first, 0.4, 1e-9);
+}
+
+TEST(SegmentIntersect, TouchingAtEndpoint) {
+  const Segment a{{0.0, 0.0}, {5.0, 0.0}};
+  const Segment b{{5.0, 0.0}, {5.0, 5.0}};
+  const auto hit = intersect(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->t_first, 1.0, 1e-9);
+  EXPECT_NEAR(hit->t_second, 0.0, 1e-9);
+}
+
+TEST(SegmentIntersect, MissOutsideRange) {
+  // Lines cross, but beyond the segment extents.
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{5.0, -1.0}, {5.0, 1.0}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(SegmentDistance, PointProjection) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  double t = -1.0;
+  EXPECT_DOUBLE_EQ(point_segment_distance({5.0, 3.0}, s, &t), 3.0);
+  EXPECT_DOUBLE_EQ(t, 0.5);
+  // Beyond an endpoint: clamped.
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3.0, 4.0}, s, &t), 5.0);
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(SegmentCircle, ThroughCenterTwoCrossings) {
+  const Segment s{{-10.0, 0.0}, {10.0, 0.0}};
+  const auto x = segment_circle_crossings(s, {0.0, 0.0}, 5.0);
+  ASSERT_EQ(x.count, 2);
+  EXPECT_NEAR(x.t[0], 0.25, 1e-12);
+  EXPECT_NEAR(x.t[1], 0.75, 1e-12);
+}
+
+TEST(SegmentCircle, MissReturnsNothing) {
+  const Segment s{{-10.0, 7.0}, {10.0, 7.0}};
+  EXPECT_EQ(segment_circle_crossings(s, {0.0, 0.0}, 5.0).count, 0);
+}
+
+TEST(SegmentCircle, InCircleIntervalFullyInside) {
+  const Segment s{{-1.0, 0.0}, {1.0, 0.0}};
+  const auto iv = segment_in_circle_interval(s, {0.0, 0.0}, 5.0);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_DOUBLE_EQ(iv->lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv->hi, 1.0);
+}
+
+TEST(SegmentCircle, InCircleIntervalEnteringOnly) {
+  const Segment s{{-10.0, 0.0}, {0.0, 0.0}};
+  const auto iv = segment_in_circle_interval(s, {0.0, 0.0}, 5.0);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_NEAR(iv->lo, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(iv->hi, 1.0);
+}
+
+TEST(SegmentCircle, InCircleIntervalPassingThrough) {
+  const Segment s{{-10.0, 3.0}, {10.0, 3.0}};
+  const auto iv = segment_in_circle_interval(s, {0.0, 0.0}, 5.0);
+  ASSERT_TRUE(iv.has_value());
+  // Chord half-length = 4 -> enters at x=-4 (t=0.3), exits at x=+4 (t=0.7).
+  EXPECT_NEAR(iv->lo, 0.3, 1e-9);
+  EXPECT_NEAR(iv->hi, 0.7, 1e-9);
+}
+
+TEST(SegmentCircle, InCircleIntervalMiss) {
+  const Segment s{{-10.0, 6.0}, {10.0, 6.0}};
+  EXPECT_FALSE(segment_in_circle_interval(s, {0.0, 0.0}, 5.0).has_value());
+}
+
+TEST(Intervals, OverlapAndUnion) {
+  const IntervalD a{0.0, 2.0};
+  const IntervalD b{1.0, 4.0};
+  const auto ov = interval_overlap(a, b);
+  ASSERT_TRUE(ov.has_value());
+  EXPECT_DOUBLE_EQ(ov->lo, 1.0);
+  EXPECT_DOUBLE_EQ(ov->hi, 2.0);
+  EXPECT_DOUBLE_EQ(interval_union_length(a, b), 4.0);
+}
+
+TEST(Intervals, DisjointOverlapIsNull) {
+  const IntervalD a{0.0, 1.0};
+  const IntervalD b{2.0, 3.0};
+  EXPECT_FALSE(interval_overlap(a, b).has_value());
+  EXPECT_DOUBLE_EQ(interval_union_length(a, b), 2.0);
+}
+
+TEST(Intervals, TouchingCountsAsZeroLengthOverlap) {
+  const IntervalD a{0.0, 1.0};
+  const IntervalD b{1.0, 2.0};
+  const auto ov = interval_overlap(a, b);
+  ASSERT_TRUE(ov.has_value());
+  EXPECT_DOUBLE_EQ(ov->length(), 0.0);
+}
+
+}  // namespace
+}  // namespace erpd::geom

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "geom/vec2.hpp"
+#include "geom/vec3.hpp"
+
+namespace erpd::geom {
+namespace {
+
+TEST(Vec2, ArithmeticBasics) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 b{-1.0, 2.0};
+  EXPECT_EQ(a + b, Vec2(2.0, 6.0));
+  EXPECT_EQ(a - b, Vec2(4.0, 2.0));
+  EXPECT_EQ(a * 2.0, Vec2(6.0, 8.0));
+  EXPECT_EQ(2.0 * a, Vec2(6.0, 8.0));
+  EXPECT_EQ(a / 2.0, Vec2(1.5, 2.0));
+  EXPECT_EQ(-a, Vec2(-3.0, -4.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, Vec2{0.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq(a, Vec2{3.0, 0.0}), 16.0);
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 y{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(x.cross(y), 1.0);   // y is CCW from x
+  EXPECT_DOUBLE_EQ(y.cross(x), -1.0);  // x is CW from y
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 v{3.0, -7.0};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, RotationQuarters) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 r = x.rotated(std::numbers::pi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_EQ(x.perp(), Vec2(0.0, 1.0));
+}
+
+TEST(Vec2, HeadingRoundTrip) {
+  for (double h : {-3.0, -1.5, 0.0, 0.7, 2.9}) {
+    const Vec2 v = Vec2::from_heading(h);
+    EXPECT_NEAR(v.heading(), h, 1e-12) << "heading " << h;
+    EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Vec2, Lerp) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, -2.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), Vec2(5.0, -1.0));
+}
+
+TEST(Vec3, ArithmeticAndNorm) {
+  const Vec3 a{1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 3.0);
+  EXPECT_EQ(a + a, Vec3(2.0, 4.0, 4.0));
+  EXPECT_EQ(a - a, Vec3());
+  EXPECT_EQ(a * 2.0, Vec3(2.0, 4.0, 4.0));
+}
+
+TEST(Vec3, CrossIsOrthogonal) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-2.0, 0.5, 4.0};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, XyProjection) {
+  const Vec3 p{4.0, -5.0, 9.0};
+  EXPECT_EQ(p.xy(), Vec2(4.0, -5.0));
+  EXPECT_EQ(Vec3(Vec2{1.0, 2.0}, 3.0), Vec3(1.0, 2.0, 3.0));
+}
+
+}  // namespace
+}  // namespace erpd::geom

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/stats.hpp"
+#include "geom/voronoi.hpp"
+
+namespace erpd::geom {
+namespace {
+
+TEST(Voronoi, EmptyPartitionHasNoOwner) {
+  const VoronoiPartition v;
+  EXPECT_FALSE(v.cell_of({1.0, 2.0}).has_value());
+  EXPECT_TRUE(std::isinf(v.distance_to_owner({0.0, 0.0})));
+}
+
+TEST(Voronoi, NearestSiteWins) {
+  const VoronoiPartition v{{{0.0, 0.0}, {10.0, 0.0}}};
+  EXPECT_EQ(v.cell_of({1.0, 0.0}).value(), 0u);
+  EXPECT_EQ(v.cell_of({9.0, 0.0}).value(), 1u);
+  EXPECT_TRUE(v.in_cell({1.0, 0.0}, 0));
+  EXPECT_FALSE(v.in_cell({1.0, 0.0}, 1));
+}
+
+TEST(Voronoi, TieBreaksToLowestIndex) {
+  const VoronoiPartition v{{{0.0, 0.0}, {10.0, 0.0}}};
+  EXPECT_EQ(v.cell_of({5.0, 3.0}).value(), 0u);
+}
+
+TEST(Voronoi, PartitionCoversPlaneExactlyOnce) {
+  const VoronoiPartition v{{{0.0, 0.0}, {7.0, 3.0}, {-4.0, 9.0}, {2.0, -6.0}}};
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(-20.0, 20.0);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 p{u(rng), u(rng)};
+    int owners = 0;
+    for (std::size_t s = 0; s < v.site_count(); ++s) {
+      if (v.in_cell(p, s)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << "point " << p;
+  }
+}
+
+TEST(Voronoi, DistanceToOwnerIsMinimal) {
+  const VoronoiPartition v{{{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}};
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-5.0, 15.0);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 p{u(rng), u(rng)};
+    const double d = v.distance_to_owner(p);
+    for (const Vec2& s : v.sites()) {
+      EXPECT_LE(d, distance(p, s) + 1e-12);
+    }
+  }
+}
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_NEAR(stddev({1.0, -1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, Centroid) {
+  EXPECT_EQ(centroid({{0.0, 0.0}, {2.0, 4.0}}), Vec2(1.0, 2.0));
+  EXPECT_EQ(centroid({}), Vec2());
+}
+
+TEST(Stats, LocationStddev) {
+  // Two points 2r apart: each is r from the centroid.
+  EXPECT_NEAR(location_stddev({{0.0, 0.0}, {6.0, 0.0}}), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(location_stddev({{1.0, 1.0}}), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace erpd::geom
