@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extraction.dir/ablation_extraction.cpp.o"
+  "CMakeFiles/ablation_extraction.dir/ablation_extraction.cpp.o.d"
+  "ablation_extraction"
+  "ablation_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_follower.cpp" "bench/CMakeFiles/ablation_follower.dir/ablation_follower.cpp.o" "gcc" "bench/CMakeFiles/ablation_follower.dir/ablation_follower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edge/CMakeFiles/erpd_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/erpd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/erpd_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/erpd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erpd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/erpd_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/erpd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

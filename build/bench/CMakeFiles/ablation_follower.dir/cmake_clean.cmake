@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_follower.dir/ablation_follower.cpp.o"
+  "CMakeFiles/ablation_follower.dir/ablation_follower.cpp.o.d"
+  "ablation_follower"
+  "ablation_follower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_follower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

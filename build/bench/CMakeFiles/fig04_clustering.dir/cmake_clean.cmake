@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_clustering.dir/fig04_clustering.cpp.o"
+  "CMakeFiles/fig04_clustering.dir/fig04_clustering.cpp.o.d"
+  "fig04_clustering"
+  "fig04_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

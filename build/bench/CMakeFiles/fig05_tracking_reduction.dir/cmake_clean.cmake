@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_tracking_reduction.dir/fig05_tracking_reduction.cpp.o"
+  "CMakeFiles/fig05_tracking_reduction.dir/fig05_tracking_reduction.cpp.o.d"
+  "fig05_tracking_reduction"
+  "fig05_tracking_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_tracking_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

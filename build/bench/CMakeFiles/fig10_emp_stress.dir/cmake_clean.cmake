@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_emp_stress.dir/fig10_emp_stress.cpp.o"
+  "CMakeFiles/fig10_emp_stress.dir/fig10_emp_stress.cpp.o.d"
+  "fig10_emp_stress"
+  "fig10_emp_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_emp_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

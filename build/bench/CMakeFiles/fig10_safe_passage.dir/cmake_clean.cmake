@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_safe_passage.dir/fig10_safe_passage.cpp.o"
+  "CMakeFiles/fig10_safe_passage.dir/fig10_safe_passage.cpp.o.d"
+  "fig10_safe_passage"
+  "fig10_safe_passage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_safe_passage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

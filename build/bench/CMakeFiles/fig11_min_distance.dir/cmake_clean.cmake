@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_min_distance.dir/fig11_min_distance.cpp.o"
+  "CMakeFiles/fig11_min_distance.dir/fig11_min_distance.cpp.o.d"
+  "fig11_min_distance"
+  "fig11_min_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_min_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

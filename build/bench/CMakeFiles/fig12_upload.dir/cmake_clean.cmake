@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_upload.dir/fig12_upload.cpp.o"
+  "CMakeFiles/fig12_upload.dir/fig12_upload.cpp.o.d"
+  "fig12_upload"
+  "fig12_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

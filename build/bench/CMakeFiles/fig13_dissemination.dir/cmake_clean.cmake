@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dissemination.dir/fig13_dissemination.cpp.o"
+  "CMakeFiles/fig13_dissemination.dir/fig13_dissemination.cpp.o.d"
+  "fig13_dissemination"
+  "fig13_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_clustering.dir/crowd_clustering.cpp.o"
+  "CMakeFiles/crowd_clustering.dir/crowd_clustering.cpp.o.d"
+  "crowd_clustering"
+  "crowd_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

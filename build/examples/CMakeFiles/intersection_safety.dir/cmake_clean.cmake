@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersection_safety.dir/intersection_safety.cpp.o"
+  "CMakeFiles/intersection_safety.dir/intersection_safety.cpp.o.d"
+  "intersection_safety"
+  "intersection_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersection_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pedestrian_crossing.dir/pedestrian_crossing.cpp.o"
+  "CMakeFiles/pedestrian_crossing.dir/pedestrian_crossing.cpp.o.d"
+  "pedestrian_crossing"
+  "pedestrian_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pedestrian_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpd_core.dir/dissemination.cpp.o"
+  "CMakeFiles/erpd_core.dir/dissemination.cpp.o.d"
+  "CMakeFiles/erpd_core.dir/relevance.cpp.o"
+  "CMakeFiles/erpd_core.dir/relevance.cpp.o.d"
+  "liberpd_core.a"
+  "liberpd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpd_edge.dir/edge_server.cpp.o"
+  "CMakeFiles/erpd_edge.dir/edge_server.cpp.o.d"
+  "CMakeFiles/erpd_edge.dir/system_runner.cpp.o"
+  "CMakeFiles/erpd_edge.dir/system_runner.cpp.o.d"
+  "CMakeFiles/erpd_edge.dir/vehicle_client.cpp.o"
+  "CMakeFiles/erpd_edge.dir/vehicle_client.cpp.o.d"
+  "liberpd_edge.a"
+  "liberpd_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpd_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/gaussian2d.cpp" "src/geom/CMakeFiles/erpd_geom.dir/gaussian2d.cpp.o" "gcc" "src/geom/CMakeFiles/erpd_geom.dir/gaussian2d.cpp.o.d"
+  "/root/repo/src/geom/mat4.cpp" "src/geom/CMakeFiles/erpd_geom.dir/mat4.cpp.o" "gcc" "src/geom/CMakeFiles/erpd_geom.dir/mat4.cpp.o.d"
+  "/root/repo/src/geom/obb.cpp" "src/geom/CMakeFiles/erpd_geom.dir/obb.cpp.o" "gcc" "src/geom/CMakeFiles/erpd_geom.dir/obb.cpp.o.d"
+  "/root/repo/src/geom/polyline.cpp" "src/geom/CMakeFiles/erpd_geom.dir/polyline.cpp.o" "gcc" "src/geom/CMakeFiles/erpd_geom.dir/polyline.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/geom/CMakeFiles/erpd_geom.dir/segment.cpp.o" "gcc" "src/geom/CMakeFiles/erpd_geom.dir/segment.cpp.o.d"
+  "/root/repo/src/geom/voronoi.cpp" "src/geom/CMakeFiles/erpd_geom.dir/voronoi.cpp.o" "gcc" "src/geom/CMakeFiles/erpd_geom.dir/voronoi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

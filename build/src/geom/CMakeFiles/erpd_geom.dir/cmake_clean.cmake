@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpd_geom.dir/gaussian2d.cpp.o"
+  "CMakeFiles/erpd_geom.dir/gaussian2d.cpp.o.d"
+  "CMakeFiles/erpd_geom.dir/mat4.cpp.o"
+  "CMakeFiles/erpd_geom.dir/mat4.cpp.o.d"
+  "CMakeFiles/erpd_geom.dir/obb.cpp.o"
+  "CMakeFiles/erpd_geom.dir/obb.cpp.o.d"
+  "CMakeFiles/erpd_geom.dir/polyline.cpp.o"
+  "CMakeFiles/erpd_geom.dir/polyline.cpp.o.d"
+  "CMakeFiles/erpd_geom.dir/segment.cpp.o"
+  "CMakeFiles/erpd_geom.dir/segment.cpp.o.d"
+  "CMakeFiles/erpd_geom.dir/voronoi.cpp.o"
+  "CMakeFiles/erpd_geom.dir/voronoi.cpp.o.d"
+  "liberpd_geom.a"
+  "liberpd_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpd_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

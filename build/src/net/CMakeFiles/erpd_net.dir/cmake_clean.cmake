@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpd_net.dir/channel.cpp.o"
+  "CMakeFiles/erpd_net.dir/channel.cpp.o.d"
+  "liberpd_net.a"
+  "liberpd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointcloud/dbscan.cpp" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/dbscan.cpp.o" "gcc" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/dbscan.cpp.o.d"
+  "/root/repo/src/pointcloud/encoding.cpp" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/encoding.cpp.o" "gcc" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/encoding.cpp.o.d"
+  "/root/repo/src/pointcloud/ground_filter.cpp" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/ground_filter.cpp.o" "gcc" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/ground_filter.cpp.o.d"
+  "/root/repo/src/pointcloud/moving_extractor.cpp" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/moving_extractor.cpp.o" "gcc" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/moving_extractor.cpp.o.d"
+  "/root/repo/src/pointcloud/pointcloud.cpp" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/pointcloud.cpp.o" "gcc" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/pointcloud.cpp.o.d"
+  "/root/repo/src/pointcloud/voxel_grid.cpp" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/voxel_grid.cpp.o" "gcc" "src/pointcloud/CMakeFiles/erpd_pointcloud.dir/voxel_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/erpd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpd_pointcloud.dir/dbscan.cpp.o"
+  "CMakeFiles/erpd_pointcloud.dir/dbscan.cpp.o.d"
+  "CMakeFiles/erpd_pointcloud.dir/encoding.cpp.o"
+  "CMakeFiles/erpd_pointcloud.dir/encoding.cpp.o.d"
+  "CMakeFiles/erpd_pointcloud.dir/ground_filter.cpp.o"
+  "CMakeFiles/erpd_pointcloud.dir/ground_filter.cpp.o.d"
+  "CMakeFiles/erpd_pointcloud.dir/moving_extractor.cpp.o"
+  "CMakeFiles/erpd_pointcloud.dir/moving_extractor.cpp.o.d"
+  "CMakeFiles/erpd_pointcloud.dir/pointcloud.cpp.o"
+  "CMakeFiles/erpd_pointcloud.dir/pointcloud.cpp.o.d"
+  "CMakeFiles/erpd_pointcloud.dir/voxel_grid.cpp.o"
+  "CMakeFiles/erpd_pointcloud.dir/voxel_grid.cpp.o.d"
+  "liberpd_pointcloud.a"
+  "liberpd_pointcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpd_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

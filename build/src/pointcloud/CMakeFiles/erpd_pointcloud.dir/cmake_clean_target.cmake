@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberpd_pointcloud.a"
+)

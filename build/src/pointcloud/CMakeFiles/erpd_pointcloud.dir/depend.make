@@ -1,0 +1,2 @@
+# Empty dependencies file for erpd_pointcloud.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/agent.cpp" "src/sim/CMakeFiles/erpd_sim.dir/agent.cpp.o" "gcc" "src/sim/CMakeFiles/erpd_sim.dir/agent.cpp.o.d"
+  "/root/repo/src/sim/car_following.cpp" "src/sim/CMakeFiles/erpd_sim.dir/car_following.cpp.o" "gcc" "src/sim/CMakeFiles/erpd_sim.dir/car_following.cpp.o.d"
+  "/root/repo/src/sim/lidar.cpp" "src/sim/CMakeFiles/erpd_sim.dir/lidar.cpp.o" "gcc" "src/sim/CMakeFiles/erpd_sim.dir/lidar.cpp.o.d"
+  "/root/repo/src/sim/road_network.cpp" "src/sim/CMakeFiles/erpd_sim.dir/road_network.cpp.o" "gcc" "src/sim/CMakeFiles/erpd_sim.dir/road_network.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/erpd_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/erpd_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/erpd_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/erpd_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/erpd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/erpd_pointcloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

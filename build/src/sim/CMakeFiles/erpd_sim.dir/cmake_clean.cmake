@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpd_sim.dir/agent.cpp.o"
+  "CMakeFiles/erpd_sim.dir/agent.cpp.o.d"
+  "CMakeFiles/erpd_sim.dir/car_following.cpp.o"
+  "CMakeFiles/erpd_sim.dir/car_following.cpp.o.d"
+  "CMakeFiles/erpd_sim.dir/lidar.cpp.o"
+  "CMakeFiles/erpd_sim.dir/lidar.cpp.o.d"
+  "CMakeFiles/erpd_sim.dir/road_network.cpp.o"
+  "CMakeFiles/erpd_sim.dir/road_network.cpp.o.d"
+  "CMakeFiles/erpd_sim.dir/scenario.cpp.o"
+  "CMakeFiles/erpd_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/erpd_sim.dir/world.cpp.o"
+  "CMakeFiles/erpd_sim.dir/world.cpp.o.d"
+  "liberpd_sim.a"
+  "liberpd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

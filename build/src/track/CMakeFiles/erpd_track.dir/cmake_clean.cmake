@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erpd_track.dir/crowd_cluster.cpp.o"
+  "CMakeFiles/erpd_track.dir/crowd_cluster.cpp.o.d"
+  "CMakeFiles/erpd_track.dir/kalman.cpp.o"
+  "CMakeFiles/erpd_track.dir/kalman.cpp.o.d"
+  "CMakeFiles/erpd_track.dir/prediction.cpp.o"
+  "CMakeFiles/erpd_track.dir/prediction.cpp.o.d"
+  "CMakeFiles/erpd_track.dir/rules.cpp.o"
+  "CMakeFiles/erpd_track.dir/rules.cpp.o.d"
+  "CMakeFiles/erpd_track.dir/tracker.cpp.o"
+  "CMakeFiles/erpd_track.dir/tracker.cpp.o.d"
+  "liberpd_track.a"
+  "liberpd_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erpd_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_angle.dir/test_angle.cpp.o"
+  "CMakeFiles/test_angle.dir/test_angle.cpp.o.d"
+  "test_angle"
+  "test_angle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_angle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_car_following.cpp" "tests/CMakeFiles/test_car_following.dir/test_car_following.cpp.o" "gcc" "tests/CMakeFiles/test_car_following.dir/test_car_following.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/erpd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/erpd_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/erpd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

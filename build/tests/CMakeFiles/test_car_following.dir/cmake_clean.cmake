@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_car_following.dir/test_car_following.cpp.o"
+  "CMakeFiles/test_car_following.dir/test_car_following.cpp.o.d"
+  "test_car_following"
+  "test_car_following.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_car_following.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

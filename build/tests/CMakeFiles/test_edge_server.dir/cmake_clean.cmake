@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_server.dir/test_edge_server.cpp.o"
+  "CMakeFiles/test_edge_server.dir/test_edge_server.cpp.o.d"
+  "test_edge_server"
+  "test_edge_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

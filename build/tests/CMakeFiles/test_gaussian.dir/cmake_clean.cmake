@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaussian.dir/test_gaussian.cpp.o"
+  "CMakeFiles/test_gaussian.dir/test_gaussian.cpp.o.d"
+  "test_gaussian"
+  "test_gaussian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

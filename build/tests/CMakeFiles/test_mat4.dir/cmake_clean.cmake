@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mat4.dir/test_mat4.cpp.o"
+  "CMakeFiles/test_mat4.dir/test_mat4.cpp.o.d"
+  "test_mat4"
+  "test_mat4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mat4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moving_extractor.dir/test_moving_extractor.cpp.o"
+  "CMakeFiles/test_moving_extractor.dir/test_moving_extractor.cpp.o.d"
+  "test_moving_extractor"
+  "test_moving_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moving_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obb.dir/test_obb.cpp.o"
+  "CMakeFiles/test_obb.dir/test_obb.cpp.o.d"
+  "test_obb"
+  "test_obb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointcloud.dir/test_pointcloud.cpp.o"
+  "CMakeFiles/test_pointcloud.dir/test_pointcloud.cpp.o.d"
+  "test_pointcloud"
+  "test_pointcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

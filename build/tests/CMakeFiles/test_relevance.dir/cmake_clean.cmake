@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relevance.dir/test_relevance.cpp.o"
+  "CMakeFiles/test_relevance.dir/test_relevance.cpp.o.d"
+  "test_relevance"
+  "test_relevance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relevance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vehicle_client.dir/test_vehicle_client.cpp.o"
+  "CMakeFiles/test_vehicle_client.dir/test_vehicle_client.cpp.o.d"
+  "test_vehicle_client"
+  "test_vehicle_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vehicle_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

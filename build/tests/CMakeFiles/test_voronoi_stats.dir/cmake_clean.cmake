@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voronoi_stats.dir/test_voronoi_stats.cpp.o"
+  "CMakeFiles/test_voronoi_stats.dir/test_voronoi_stats.cpp.o.d"
+  "test_voronoi_stats"
+  "test_voronoi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voronoi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
