@@ -1,7 +1,8 @@
 #include "core/dissemination.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace erpd::core {
 
@@ -34,9 +35,8 @@ Selection greedy_dissemination(std::vector<Candidate> candidates,
 Selection optimal_dissemination(const std::vector<Candidate>& candidates,
                                 std::size_t budget_bytes,
                                 std::size_t resolution_bytes) {
-  if (resolution_bytes == 0) {
-    throw std::invalid_argument("optimal_dissemination: resolution must be > 0");
-  }
+  ERPD_REQUIRE(resolution_bytes > 0,
+               "optimal_dissemination: resolution must be > 0");
   // Quantize weights *up* so the solution always respects the true budget.
   const std::size_t cap = budget_bytes / resolution_bytes;
   std::vector<std::size_t> w(candidates.size());
@@ -69,6 +69,9 @@ Selection optimal_dissemination(const std::vector<Candidate>& candidates,
   std::size_t b = cap;
   for (std::size_t i = items.size(); i-- > 0;) {
     if (taken[i][b]) {
+      ERPD_DCHECK(b >= weights[i],
+                  "optimal_dissemination: knapsack backtrack underflow at item ",
+                  i);
       out.chosen.push_back(*items[i]);
       out.total_bytes += items[i]->bytes;
       out.total_relevance += items[i]->relevance;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/check.hpp"
+
 #include "pointcloud/encoding.hpp"
 #include "pointcloud/voxel_grid.hpp"
 
@@ -25,7 +27,14 @@ EdgeServer::EdgeServer(const sim::RoadNetwork& net, EdgeConfig cfg)
       cfg_(cfg),
       tracker_(cfg.tracker),
       rules_(net, cfg.rules),
-      predictor_(net, cfg.predictor) {}
+      predictor_(net, cfg.predictor) {
+  cfg_.wireless.validate();
+  ERPD_REQUIRE(cfg_.min_relevance >= 0.0,
+               "EdgeServer: min_relevance must be >= 0, got ",
+               cfg_.min_relevance);
+  ERPD_REQUIRE(cfg_.visibility_radius > 0.0 && cfg_.self_radius > 0.0,
+               "EdgeServer: visibility/self radii must be > 0");
+}
 
 sim::AgentKind EdgeServer::classify_extent(const geom::Aabb& box) {
   if (box.empty()) return sim::AgentKind::kPedestrian;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/check.hpp"
+
 namespace erpd::edge {
 
 using Clock = std::chrono::steady_clock;
@@ -102,7 +104,14 @@ std::vector<net::UploadFrame> apply_uplink_cap(
 
 }  // namespace
 
-SystemRunner::SystemRunner(RunnerConfig cfg) : cfg_(cfg) {}
+SystemRunner::SystemRunner(RunnerConfig cfg) : cfg_(cfg) {
+  cfg_.wireless.validate();
+  ERPD_REQUIRE(cfg_.duration > 0.0,
+               "SystemRunner: duration must be > 0, got ", cfg_.duration);
+  ERPD_REQUIRE(cfg_.frames_per_pipeline >= 1,
+               "SystemRunner: frames_per_pipeline must be >= 1, got ",
+               cfg_.frames_per_pipeline);
+}
 
 MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   sim::World& world = sc.world;

@@ -2,20 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "core/check.hpp"
 #include "geom/angle.hpp"
 
 namespace erpd::geom {
 
 Gaussian2D::Gaussian2D(Vec2 mean, double sigma_x, double sigma_y, double rho)
     : mean_(mean), sx_(sigma_x), sy_(sigma_y), rho_(rho) {
-  if (sx_ <= 0.0 || sy_ <= 0.0) {
-    throw std::invalid_argument("Gaussian2D: sigma must be positive");
-  }
-  if (rho_ <= -1.0 || rho_ >= 1.0) {
-    throw std::invalid_argument("Gaussian2D: rho must be in (-1, 1)");
-  }
+  ERPD_REQUIRE(sx_ > 0.0 && sy_ > 0.0,
+               "Gaussian2D: sigma must be positive, got sigma_x=", sx_,
+               " sigma_y=", sy_);
+  ERPD_REQUIRE(rho_ > -1.0 && rho_ < 1.0,
+               "Gaussian2D: rho must be in (-1, 1), got ", rho_);
 }
 
 double Gaussian2D::mahalanobis_sq(Vec2 p) const {
@@ -33,6 +32,9 @@ double Gaussian2D::pdf(Vec2 p) const {
 
 double Gaussian2D::mass_in_circle(Vec2 center, double radius, int radial_steps,
                                   int angular_steps) const {
+  ERPD_REQUIRE(radial_steps > 0 && angular_steps > 0,
+               "Gaussian2D::mass_in_circle: steps must be positive, got ",
+               radial_steps, "x", angular_steps);
   if (radius <= 0.0) return 0.0;
   double acc = 0.0;
   const double dr = radius / radial_steps;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace erpd::geom {
 
@@ -29,7 +30,9 @@ void Polyline::push_back(Vec2 p) {
 }
 
 std::pair<std::size_t, double> Polyline::locate(double s) const {
-  if (empty()) throw std::logic_error("Polyline::locate on degenerate polyline");
+  ERPD_REQUIRE(!empty(), "Polyline::locate on degenerate polyline");
+  // A single point has no segment; everything locates at its start.
+  if (points_.size() == 1) return {0, 0.0};
   s = std::clamp(s, 0.0, length());
   // Upper bound over the cumulative table; segment i spans [cum_[i], cum_[i+1]].
   const auto it = std::upper_bound(cum_.begin(), cum_.end(), s);
@@ -37,11 +40,14 @@ std::pair<std::size_t, double> Polyline::locate(double s) const {
                       ? 0
                       : static_cast<std::size_t>(it - cum_.begin()) - 1;
   if (i >= points_.size() - 1) i = points_.size() - 2;
+  ERPD_DCHECK(i + 1 < points_.size(),
+              "Polyline::locate: segment index out of range: ", i);
   return {i, s - cum_[i]};
 }
 
 Vec2 Polyline::point_at(double s) const {
   const auto [i, off] = locate(s);
+  if (i + 1 >= points_.size()) return points_[i];  // single-point polyline
   const double seg_len = cum_[i + 1] - cum_[i];
   if (seg_len <= 0.0) return points_[i];
   return lerp(points_[i], points_[i + 1], off / seg_len);
@@ -49,13 +55,14 @@ Vec2 Polyline::point_at(double s) const {
 
 Vec2 Polyline::tangent_at(double s) const {
   auto [i, off] = locate(s);
+  if (i + 1 >= points_.size()) return {};  // single-point polyline
   // Skip zero-length segments.
   while (i + 1 < points_.size() - 1 && cum_[i + 1] - cum_[i] <= 0.0) ++i;
   return (points_[i + 1] - points_[i]).normalized();
 }
 
 double Polyline::project(Vec2 p, double* dist_out) const {
-  if (points_.empty()) throw std::logic_error("Polyline::project on empty");
+  ERPD_REQUIRE(!points_.empty(), "Polyline::project on empty polyline");
   if (points_.size() == 1) {
     if (dist_out != nullptr) *dist_out = distance(p, points_[0]);
     return 0.0;

@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/check.hpp"
+
 namespace erpd::net {
 
 struct WirelessConfig {
@@ -21,10 +23,29 @@ struct WirelessConfig {
   /// Propagation + protocol overhead per message, seconds.
   double base_latency{0.008};
 
+  /// Contract-checks that every rate/interval a byte budget depends on is
+  /// positive; a zero or negative rate silently truncates to a 0-byte budget
+  /// and stalls the whole pipeline.
+  void validate() const {
+    ERPD_REQUIRE(uplink_mbps > 0.0,
+                 "WirelessConfig: uplink_mbps must be > 0, got ", uplink_mbps);
+    ERPD_REQUIRE(downlink_mbps > 0.0,
+                 "WirelessConfig: downlink_mbps must be > 0, got ",
+                 downlink_mbps);
+    ERPD_REQUIRE(frame_interval > 0.0,
+                 "WirelessConfig: frame_interval must be > 0, got ",
+                 frame_interval);
+    ERPD_REQUIRE(base_latency >= 0.0,
+                 "WirelessConfig: base_latency must be >= 0, got ",
+                 base_latency);
+  }
+
   std::size_t uplink_budget_bytes() const {
+    validate();
     return static_cast<std::size_t>(uplink_mbps * 1e6 / 8.0 * frame_interval);
   }
   std::size_t downlink_budget_bytes() const {
+    validate();
     return static_cast<std::size_t>(downlink_mbps * 1e6 / 8.0 * frame_interval);
   }
 };
@@ -37,12 +58,23 @@ class FrameBudget {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t used() const { return used_; }
-  std::size_t remaining() const { return capacity_ - used_; }
+
+  /// Bytes still grantable this frame. Guarded so a corrupted or
+  /// over-granted state reports 0 instead of underflowing std::size_t to a
+  /// near-infinite budget; ERPD_DCHECK still flags the broken invariant in
+  /// checked builds.
+  std::size_t remaining() const {
+    ERPD_DCHECK(used_ <= capacity_, "FrameBudget: used ", used_,
+                " exceeds capacity ", capacity_);
+    return used_ <= capacity_ ? capacity_ - used_ : 0;
+  }
 
   /// True if the whole request fits; grants it atomically.
   bool try_grant(std::size_t bytes) {
     if (bytes > remaining()) return false;
     used_ += bytes;
+    ERPD_ENSURE(used_ <= capacity_, "FrameBudget: grant of ", bytes,
+                " bytes overflowed capacity ", capacity_);
     return true;
   }
 
@@ -50,6 +82,8 @@ class FrameBudget {
   std::size_t grant_partial(std::size_t bytes) {
     const std::size_t g = bytes <= remaining() ? bytes : remaining();
     used_ += g;
+    ERPD_ENSURE(used_ <= capacity_, "FrameBudget: partial grant of ", g,
+                " bytes overflowed capacity ", capacity_);
     return g;
   }
 

@@ -1,8 +1,8 @@
 #include "pointcloud/dbscan.hpp"
 
 #include <deque>
-#include <stdexcept>
 
+#include "core/check.hpp"
 #include "pointcloud/voxel_grid.hpp"
 
 namespace erpd::pc {
@@ -17,8 +17,8 @@ std::vector<std::size_t> DbscanResult::cluster_indices(
 }
 
 DbscanResult dbscan(const PointCloud& cloud, const DbscanConfig& cfg) {
-  if (cfg.eps <= 0.0) throw std::invalid_argument("dbscan: eps must be > 0");
-  if (cfg.min_pts == 0) throw std::invalid_argument("dbscan: min_pts must be > 0");
+  ERPD_REQUIRE(cfg.eps > 0.0, "dbscan: eps must be > 0, got ", cfg.eps);
+  ERPD_REQUIRE(cfg.min_pts > 0, "dbscan: min_pts must be > 0");
 
   DbscanResult res;
   res.labels.assign(cloud.size(), kNoise);
@@ -61,9 +61,15 @@ std::vector<ObjectCluster> extract_clusters(const PointCloud& cloud,
                                             const DbscanResult& result) {
   std::vector<ObjectCluster> clusters(
       static_cast<std::size_t>(result.cluster_count));
+  ERPD_REQUIRE(result.labels.size() == cloud.size(),
+               "extract_clusters: labels/cloud size mismatch: ",
+               result.labels.size(), " vs ", cloud.size());
   for (std::size_t i = 0; i < result.labels.size(); ++i) {
     const std::int32_t l = result.labels[i];
     if (l == kNoise) continue;
+    ERPD_DCHECK(l >= 0 && l < result.cluster_count,
+                "extract_clusters: label ", l, " out of range [0, ",
+                result.cluster_count, ")");
     ObjectCluster& c = clusters[static_cast<std::size_t>(l)];
     c.indices.push_back(i);
     c.centroid += cloud[i];

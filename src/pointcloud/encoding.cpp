@@ -3,7 +3,8 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace erpd::pc {
 
@@ -52,9 +53,8 @@ std::size_t encoded_size_bytes(std::size_t point_count) {
 }
 
 EncodedCloud encode(const PointCloud& cloud, const EncodingConfig& cfg) {
-  if (cfg.resolution <= 0.0) {
-    throw std::invalid_argument("encode: resolution must be > 0");
-  }
+  ERPD_REQUIRE(cfg.resolution > 0.0, "encode: resolution must be > 0, got ",
+               cfg.resolution);
   // Origin = min corner so all offsets are non-negative.
   geom::Vec3 origin{std::numeric_limits<double>::infinity(),
                     std::numeric_limits<double>::infinity(),
@@ -71,10 +71,11 @@ EncodedCloud encode(const PointCloud& cloud, const EncodingConfig& cfg) {
   if (cloud.empty()) origin = hi = geom::Vec3{};
 
   const double max_span = cfg.resolution * 65535.0;
-  if (!cloud.empty() && (hi.x - origin.x > max_span || hi.y - origin.y > max_span ||
-                         hi.z - origin.z > max_span)) {
-    throw std::invalid_argument("encode: cloud extent exceeds 16-bit range");
-  }
+  ERPD_REQUIRE(cloud.empty() ||
+                   (hi.x - origin.x <= max_span && hi.y - origin.y <= max_span &&
+                    hi.z - origin.z <= max_span),
+               "encode: cloud extent exceeds 16-bit range at resolution ",
+               cfg.resolution);
 
   EncodedCloud enc;
   enc.point_count = cloud.size();
@@ -96,16 +97,20 @@ EncodedCloud encode(const PointCloud& cloud, const EncodingConfig& cfg) {
 }
 
 PointCloud decode(const EncodedCloud& enc) {
-  if (enc.bytes.size() < kHeaderBytes) {
-    throw std::invalid_argument("decode: truncated header");
-  }
+  ERPD_REQUIRE(enc.bytes.size() >= kHeaderBytes,
+               "decode: truncated header (", enc.bytes.size(), " of ",
+               kHeaderBytes, " bytes)");
   const std::uint8_t* p = enc.bytes.data();
   const std::uint64_t count = get_u64(p);
   const double res = get_f64(p + 8);
   const geom::Vec3 origin{get_f64(p + 16), get_f64(p + 24), get_f64(p + 32)};
-  if (enc.bytes.size() < kHeaderBytes + count * kBytesPerPoint) {
-    throw std::invalid_argument("decode: truncated payload");
-  }
+  // Reject counts whose payload size computation would overflow size_t.
+  ERPD_REQUIRE(count <= (std::numeric_limits<std::size_t>::max() - kHeaderBytes) /
+                            kBytesPerPoint,
+               "decode: implausible point count ", count);
+  ERPD_REQUIRE(enc.bytes.size() >= kHeaderBytes + count * kBytesPerPoint,
+               "decode: truncated payload (", enc.bytes.size(), " bytes for ",
+               count, " points)");
   PointCloud out;
   out.reserve(count);
   const std::uint8_t* q = p + kHeaderBytes;

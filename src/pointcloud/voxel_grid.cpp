@@ -1,7 +1,8 @@
 #include "pointcloud/voxel_grid.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace erpd::pc {
 
@@ -12,9 +13,8 @@ VoxelKey voxel_of(geom::Vec3 p, double voxel_size) {
 }
 
 PointCloud voxel_downsample(const PointCloud& cloud, double voxel_size) {
-  if (voxel_size <= 0.0) {
-    throw std::invalid_argument("voxel_downsample: voxel_size must be > 0");
-  }
+  ERPD_REQUIRE(voxel_size > 0.0,
+               "voxel_downsample: voxel_size must be > 0, got ", voxel_size);
   struct Acc {
     geom::Vec3 sum{};
     std::size_t n{0};
@@ -36,9 +36,8 @@ PointCloud voxel_downsample(const PointCloud& cloud, double voxel_size) {
 
 PointGrid::PointGrid(const PointCloud& cloud, double cell_size)
     : cloud_(cloud), cell_(cell_size) {
-  if (cell_size <= 0.0) {
-    throw std::invalid_argument("PointGrid: cell_size must be > 0");
-  }
+  ERPD_REQUIRE(cell_size > 0.0, "PointGrid: cell_size must be > 0, got ",
+               cell_size);
   cells_.reserve(cloud.size());
   for (std::size_t i = 0; i < cloud.size(); ++i) {
     cells_[voxel_of(cloud[i], cell_)].push_back(i);
@@ -47,6 +46,8 @@ PointGrid::PointGrid(const PointCloud& cloud, double cell_size)
 
 std::vector<std::size_t> PointGrid::radius_neighbors(std::size_t i,
                                                      double radius) const {
+  ERPD_REQUIRE(i < cloud_.size(), "PointGrid::radius_neighbors: index ", i,
+               " out of range (size ", cloud_.size(), ")");
   std::vector<std::size_t> out = radius_neighbors(cloud_[i], radius);
   std::erase(out, i);
   return out;

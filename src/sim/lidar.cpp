@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/check.hpp"
 #include "geom/angle.hpp"
 
 namespace erpd::sim {
@@ -11,6 +12,13 @@ using geom::Vec2;
 using geom::Vec3;
 
 LidarSensor::LidarSensor(LidarConfig cfg) : cfg_(cfg) {
+  ERPD_REQUIRE(cfg_.channels >= 1, "LidarSensor: channels must be >= 1, got ",
+               cfg_.channels);
+  ERPD_REQUIRE(cfg_.azimuth_step_deg > 0.0,
+               "LidarSensor: azimuth_step_deg must be > 0, got ",
+               cfg_.azimuth_step_deg);
+  ERPD_REQUIRE(cfg_.max_range > 0.0, "LidarSensor: max_range must be > 0, got ",
+               cfg_.max_range);
   elevations_.reserve(static_cast<std::size_t>(cfg_.channels));
   const double lo = geom::deg_to_rad(cfg_.vertical_fov_min_deg);
   const double hi = geom::deg_to_rad(cfg_.vertical_fov_max_deg);

@@ -1,7 +1,8 @@
 #include "sim/road_network.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace erpd::sim {
 
@@ -72,15 +73,17 @@ double SignalController::time_to_green(Arm arm, double time) const {
 }
 
 RoadNetwork::RoadNetwork(RoadConfig cfg) : cfg_(cfg) {
-  if (cfg_.lanes_per_direction < 1) {
-    throw std::invalid_argument("RoadNetwork: need at least one lane");
-  }
+  ERPD_REQUIRE(cfg_.lanes_per_direction >= 1,
+               "RoadNetwork: need at least one lane, got ",
+               cfg_.lanes_per_direction);
+  ERPD_REQUIRE(cfg_.lane_width > 0.0, "RoadNetwork: lane_width must be > 0, got ",
+               cfg_.lane_width);
   const double road_half = cfg_.lanes_per_direction * cfg_.lane_width;
   box_half_ = road_half + 0.5;
   stop_line_dist_ = box_half_ + cfg_.stopline_setback;
-  if (cfg_.arm_length <= stop_line_dist_ + 1.0) {
-    throw std::invalid_argument("RoadNetwork: arm_length too short");
-  }
+  ERPD_REQUIRE(cfg_.arm_length > stop_line_dist_ + 1.0,
+               "RoadNetwork: arm_length too short: ", cfg_.arm_length,
+               " <= ", stop_line_dist_ + 1.0);
   build_routes();
   build_crosswalks();
 }
@@ -240,7 +243,8 @@ const Crosswalk& RoadNetwork::crosswalk(Arm arm) const {
   for (const Crosswalk& cw : crosswalks_) {
     if (cw.arm == arm) return cw;
   }
-  throw std::logic_error("crosswalk: unknown arm");
+  ERPD_UNREACHABLE("crosswalk: no crosswalk built for arm ",
+                   static_cast<int>(arm));
 }
 
 }  // namespace erpd::sim

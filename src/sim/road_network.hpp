@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/check.hpp"
 #include "geom/aabb.hpp"
 #include "geom/polyline.hpp"
 #include "geom/vec2.hpp"
@@ -105,7 +106,12 @@ class RoadNetwork {
   double stop_line_distance() const { return stop_line_dist_; }
 
   const std::vector<Route>& routes() const { return routes_; }
-  const Route& route(int id) const { return routes_.at(static_cast<std::size_t>(id)); }
+  const Route& route(int id) const {
+    ERPD_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < routes_.size(),
+                 "RoadNetwork::route: id ", id, " out of range [0, ",
+                 routes_.size(), ")");
+    return routes_[static_cast<std::size_t>(id)];
+  }
 
   /// Routes entering from a given approach lane.
   std::vector<int> routes_from(LaneRef lane) const;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "core/check.hpp"
 #include "geom/angle.hpp"
 
 namespace erpd::sim {
@@ -21,6 +21,17 @@ VehicleParams car_params(double speed_ms, bool connected) {
   p.idm.desired_speed = speed_ms;
   p.connected = connected;
   return p;
+}
+
+/// Looks up a route that the scenario's road geometry must provide;
+/// contract-fails with the requested coordinates instead of dereferencing
+/// an empty optional when the RoadConfig cannot supply it.
+int require_route(const RoadNetwork& net, Arm entry, int lane, Maneuver m) {
+  const std::optional<int> id = net.find_route(entry, lane, m);
+  ERPD_REQUIRE(id.has_value(), "scenario: no route from arm ",
+               static_cast<int>(entry), " lane ", lane, " maneuver ",
+               static_cast<int>(m), " (lanes_per_direction too small?)");
+  return *id;
 }
 
 VehicleParams parked_truck_params(double length = 8.5) {
@@ -209,13 +220,13 @@ Scenario make_unprotected_left_turn(const ScenarioConfig& cfg) {
   add_street_walls(world);
   add_parked_cars(world, rng);
 
-  const int ego_route = *net.find_route(Arm::kSouth, 0, Maneuver::kLeft);
-  const int threat_route = *net.find_route(Arm::kNorth, 1, Maneuver::kStraight);
+  const int ego_route = require_route(net, Arm::kSouth, 0, Maneuver::kLeft);
+  const int threat_route = require_route(net, Arm::kNorth, 1, Maneuver::kStraight);
 
   // Auto-calibrate: both reach the crossing point simultaneously.
   const auto crossing =
       net.route(ego_route).path.first_crossing(net.route(threat_route).path);
-  if (!crossing) throw std::logic_error("left-turn routes do not cross");
+  ERPD_ENSURE(crossing.has_value(), "left-turn routes do not cross");
   const double travel = speed * cfg.time_to_conflict;
   const double ego_s = std::max(crossing->s_this - travel, 4.0);
   const double threat_s = std::max(crossing->s_other - travel, 4.0);
@@ -241,7 +252,7 @@ Scenario make_unprotected_left_turn(const ScenarioConfig& cfg) {
   // Occluder: box truck waiting inside the intersection to turn left from the
   // opposite (northern) left lane — the classic Fig. 1 "truck D".
   {
-    const int truck_route = *net.find_route(Arm::kNorth, 0, Maneuver::kLeft);
+    const int truck_route = require_route(net, Arm::kNorth, 0, Maneuver::kLeft);
     const Route& tr = net.route(truck_route);
     // Stopped just past its stop line, nose into the box, waiting for a gap.
     double wait_s = tr.stop_line_s + 6.5;
@@ -283,13 +294,13 @@ Scenario make_red_light_violation(const ScenarioConfig& cfg) {
   add_parked_cars(world, rng);
 
   // Ego goes straight north on green; violator runs the red from the west.
-  const int ego_route = *net.find_route(Arm::kSouth, 1, Maneuver::kStraight);
+  const int ego_route = require_route(net, Arm::kSouth, 1, Maneuver::kStraight);
   const int violator_route =
-      *net.find_route(Arm::kWest, 0, Maneuver::kStraight);
+      require_route(net, Arm::kWest, 0, Maneuver::kStraight);
 
   const auto crossing =
       net.route(ego_route).path.first_crossing(net.route(violator_route).path);
-  if (!crossing) throw std::logic_error("red-light routes do not cross");
+  ERPD_ENSURE(crossing.has_value(), "red-light routes do not cross");
   const double travel = speed * cfg.time_to_conflict;
   const double ego_s = std::max(crossing->s_this - travel, 4.0);
   double violator_s = std::max(crossing->s_other - travel, 4.0);
@@ -313,8 +324,7 @@ Scenario make_red_light_violation(const ScenarioConfig& cfg) {
   // Occluders: trucks queued at the red light on the west arm's right-turn
   // lane, blocking the diagonal sight line between ego and violator.
   {
-    const int truck_route = *net.find_route(
-        Arm::kWest, net.config().lanes_per_direction - 1, Maneuver::kRight);
+    const int truck_route = require_route(net, Arm::kWest, net.config().lanes_per_direction - 1, Maneuver::kRight);
     const Route& tr = net.route(truck_route);
     for (int k = 0; k < 2; ++k) {
       VehicleParams tp = parked_truck_params(8.5);
@@ -361,7 +371,7 @@ Scenario make_occluded_pedestrian(const ScenarioConfig& cfg) {
   add_street_walls(world);
   add_parked_cars(world, rng);
 
-  const int ego_route = *net.find_route(Arm::kSouth, 1, Maneuver::kStraight);
+  const int ego_route = require_route(net, Arm::kSouth, 1, Maneuver::kStraight);
   const Route& er = net.route(ego_route);
 
   // Pedestrian crossing the south crosswalk from east to west, stepping out
@@ -386,7 +396,7 @@ Scenario make_occluded_pedestrian(const ScenarioConfig& cfg) {
 
   // Where does the pedestrian cross the ego lane?
   const auto crossing = er.path.first_crossing(cw);
-  if (!crossing) throw std::logic_error("pedestrian path does not cross ego lane");
+  ERPD_ENSURE(crossing.has_value(), "pedestrian path does not cross ego lane");
   const double t_walk = crossing->s_other / pp.walk_speed;
   const double ego_s =
       std::max(crossing->s_this - speed * t_walk, 4.0);
@@ -412,7 +422,7 @@ Scenario make_occluded_pedestrian(const ScenarioConfig& cfg) {
   // A connected observer on the opposite approach that can see the pedestrian
   // (the "vehicle E" of Fig. 8a).
   {
-    const int obs_route = *net.find_route(Arm::kNorth, 1, Maneuver::kStraight);
+    const int obs_route = require_route(net, Arm::kNorth, 1, Maneuver::kStraight);
     const Route& obr = net.route(obs_route);
     world.add_vehicle(car_params(speed * 0.8, /*connected=*/true), obs_route,
                       obr.stop_line_s - 25.0, speed * 0.8);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/check.hpp"
+
 namespace erpd::sim {
 
 using geom::Obb;
@@ -18,6 +20,13 @@ World::World(RoadNetwork network, WorldConfig cfg)
 
 AgentId World::add_vehicle(const VehicleParams& params, int route_id,
                            double start_s, double start_speed) {
+  ERPD_REQUIRE(route_id >= 0 &&
+                   static_cast<std::size_t>(route_id) < net_.routes().size(),
+               "World::add_vehicle: route ", route_id, " out of range [0, ",
+               net_.routes().size(), ")");
+  ERPD_REQUIRE(start_speed >= 0.0,
+               "World::add_vehicle: start_speed must be >= 0, got ",
+               start_speed);
   const AgentId id = next_id_++;
   vehicles_.emplace_back(id, params, route_id, start_s, start_speed);
   return id;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/check.hpp"
+
 namespace erpd::track {
 
 KalmanCV::KalmanCV(geom::Vec2 position, Config cfg)
@@ -24,6 +26,7 @@ KalmanCV::KalmanCV(geom::Vec2 position, geom::Vec2 velocity, Config cfg)
 }
 
 void KalmanCV::predict(double dt) {
+  ERPD_REQUIRE(dt >= 0.0, "KalmanCV::predict: dt must be >= 0, got ", dt);
   // x' = F x with F = [[I, dt*I], [0, I]].
   x_[0] += dt * x_[2];
   x_[1] += dt * x_[3];
@@ -81,6 +84,8 @@ void KalmanCV::update(geom::Vec2 z) {
 }
 
 void KalmanCV::update(geom::Vec2 z, geom::Vec2 vel, double vel_sigma) {
+  ERPD_REQUIRE(vel_sigma > 0.0,
+               "KalmanCV::update: vel_sigma must be > 0, got ", vel_sigma);
   update(z);
   const double r = vel_sigma * vel_sigma;
   const double zv[2] = {vel.x, vel.y};

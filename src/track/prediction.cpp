@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.hpp"
 #include "geom/angle.hpp"
 
 namespace erpd::track {
@@ -74,7 +75,11 @@ std::vector<PredictedTrajectory> TrajectoryPredictor::predict_hypotheses(
           geom::deg_to_rad(cfg_.max_heading_diff_deg)) {
         continue;
       }
-      Best& slot = per_maneuver[static_cast<int>(route.maneuver)];
+      const int mi = static_cast<int>(route.maneuver);
+      ERPD_DCHECK(mi >= 0 && mi < 3,
+                  "prediction: maneuver index ", mi, " out of range for route ",
+                  route.id);
+      Best& slot = per_maneuver[mi];
       if (lateral < slot.lateral) slot = {route.id, s, lateral};
     }
     for (const Best& b : per_maneuver) {

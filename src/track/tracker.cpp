@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/check.hpp"
 #include "geom/angle.hpp"
 
 namespace erpd::track {
@@ -48,6 +49,9 @@ void MultiObjectTracker::step(const std::vector<Detection>& detections,
       }
     }
     if (best_tr == tracks_.size()) break;
+    ERPD_DCHECK(best_de < detections.size(),
+                "tracker: association produced detection index ", best_de,
+                " out of range ", detections.size());
     trk_used[best_tr] = true;
     det_used[best_de] = true;
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
 
@@ -13,6 +14,27 @@ TEST(Wireless, BudgetsFromMbps) {
   cfg.frame_interval = 0.1;
   EXPECT_EQ(cfg.uplink_budget_bytes(), 200000u);
   EXPECT_EQ(cfg.downlink_budget_bytes(), 400000u);
+}
+
+TEST(Wireless, NegativeOrZeroRatesAreRejected) {
+  WirelessConfig cfg;
+  cfg.uplink_mbps = -40.0;
+  EXPECT_THROW(cfg.uplink_budget_bytes(), erpd::ContractViolation);
+  EXPECT_THROW(cfg.validate(), erpd::ContractViolation);
+
+  cfg = WirelessConfig{};
+  cfg.downlink_mbps = 0.0;
+  EXPECT_THROW(cfg.downlink_budget_bytes(), erpd::ContractViolation);
+
+  cfg = WirelessConfig{};
+  cfg.frame_interval = -0.1;
+  EXPECT_THROW(cfg.uplink_budget_bytes(), erpd::ContractViolation);
+
+  cfg = WirelessConfig{};
+  cfg.base_latency = -0.001;
+  EXPECT_THROW(cfg.validate(), erpd::ContractViolation);
+
+  EXPECT_NO_THROW(WirelessConfig{}.validate());
 }
 
 TEST(FrameBudget, GrantAllOrNothing) {
@@ -36,6 +58,25 @@ TEST(FrameBudget, Reset) {
   b.grant_partial(100);
   b.reset();
   EXPECT_EQ(b.remaining(), 100u);
+}
+
+TEST(FrameBudget, ZeroCapacityNeverUnderflows) {
+  FrameBudget b(0);
+  EXPECT_EQ(b.remaining(), 0u);
+  EXPECT_FALSE(b.try_grant(1));
+  EXPECT_TRUE(b.try_grant(0));
+  EXPECT_EQ(b.grant_partial(10), 0u);
+  // The guarded remaining() must stay pinned at 0, not wrap to SIZE_MAX.
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(FrameBudget, ExhaustedBudgetStaysConsistent) {
+  FrameBudget b(64);
+  EXPECT_EQ(b.grant_partial(100), 64u);
+  EXPECT_EQ(b.used(), 64u);
+  EXPECT_EQ(b.remaining(), 0u);
+  EXPECT_FALSE(b.try_grant(1));
+  EXPECT_EQ(b.used(), 64u);  // failed grant must not mutate state
 }
 
 TEST(TransferDelay, LinearInBytes) {

@@ -1,0 +1,120 @@
+// Contract layer: every macro, the structured diagnostic fields, and the
+// exception hierarchy.
+//
+// ERPD_ENABLE_DCHECKS is defined before the include so ERPD_DCHECK is active
+// regardless of the build type this test is compiled under.
+#define ERPD_ENABLE_DCHECKS 1
+#include "core/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using erpd::ContractViolation;
+
+TEST(Check, RequirePassesSilently) {
+  EXPECT_NO_THROW(ERPD_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, RequireThrowsContractViolation) {
+  const int x = -3;
+  try {
+    ERPD_REQUIRE(x >= 0, "x must be non-negative, got ", x);
+    FAIL() << "ERPD_REQUIRE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractViolation::Kind::kRequire);
+    EXPECT_STREQ(e.expression(), "x >= 0");
+    EXPECT_NE(std::string(e.file()).find("test_check.cpp"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+    EXPECT_EQ(e.message(), "x must be non-negative, got -3");
+    // what() carries the full structured diagnostic.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("REQUIRE"), std::string::npos);
+    EXPECT_NE(what.find("x >= 0"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+    EXPECT_NE(what.find("got -3"), std::string::npos);
+  }
+}
+
+TEST(Check, RequireWithoutMessage) {
+  try {
+    ERPD_REQUIRE(false);
+    FAIL() << "ERPD_REQUIRE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_TRUE(e.message().empty());
+    EXPECT_STREQ(e.expression(), "false");
+  }
+}
+
+TEST(Check, EnsureThrowsWithEnsureKind) {
+  try {
+    ERPD_ENSURE(2 < 1, "impossible ordering");
+    FAIL() << "ERPD_ENSURE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractViolation::Kind::kEnsure);
+    EXPECT_NE(std::string(e.what()).find("ENSURE"), std::string::npos);
+  }
+}
+
+TEST(Check, DcheckActiveWhenEnabled) {
+  EXPECT_NO_THROW(ERPD_DCHECK(true, "fine"));
+  try {
+    ERPD_DCHECK(0 > 1, "broken invariant");
+    FAIL() << "ERPD_DCHECK did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractViolation::Kind::kDcheck);
+  }
+}
+
+TEST(Check, UnreachableAlwaysThrows) {
+  try {
+    ERPD_UNREACHABLE("took the impossible branch, code=", 42);
+    FAIL() << "ERPD_UNREACHABLE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractViolation::Kind::kUnreachable);
+    EXPECT_EQ(e.message(), "took the impossible branch, code=42");
+  }
+}
+
+TEST(Check, ViolationIsALogicError) {
+  // Callers that predate the contract layer still catch std::logic_error
+  // (and std::exception).
+  EXPECT_THROW(ERPD_REQUIRE(false, "legacy catch"), std::logic_error);
+  EXPECT_THROW(ERPD_ENSURE(false, "legacy catch"), std::exception);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto count_and_pass = [&calls]() {
+    ++calls;
+    return true;
+  };
+  ERPD_REQUIRE(count_and_pass(), "side effects must not repeat");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, MessageFormatsMixedTypes) {
+  try {
+    ERPD_REQUIRE(false, "int=", 7, " double=", 2.5, " str=", "abc");
+    FAIL() << "ERPD_REQUIRE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.message(), "int=7 double=2.5 str=abc");
+  }
+}
+
+TEST(Check, KindNamesAreStable) {
+  EXPECT_STREQ(ContractViolation::kind_name(ContractViolation::Kind::kRequire),
+               "REQUIRE");
+  EXPECT_STREQ(ContractViolation::kind_name(ContractViolation::Kind::kEnsure),
+               "ENSURE");
+  EXPECT_STREQ(ContractViolation::kind_name(ContractViolation::Kind::kDcheck),
+               "DCHECK");
+  EXPECT_STREQ(
+      ContractViolation::kind_name(ContractViolation::Kind::kUnreachable),
+      "UNREACHABLE");
+}
+
+}  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
+
 #include <random>
 
 #include "pointcloud/dbscan.hpp"
@@ -68,8 +70,8 @@ TEST(Dbscan, EmptyCloud) {
 }
 
 TEST(Dbscan, InvalidConfigThrows) {
-  EXPECT_THROW(dbscan(PointCloud{}, {0.0, 3}), std::invalid_argument);
-  EXPECT_THROW(dbscan(PointCloud{}, {0.5, 0}), std::invalid_argument);
+  EXPECT_THROW(dbscan(PointCloud{}, {0.0, 3}), erpd::ContractViolation);
+  EXPECT_THROW(dbscan(PointCloud{}, {0.5, 0}), erpd::ContractViolation);
 }
 
 TEST(Dbscan, ClusterIndicesMatchLabels) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
+
 #include <random>
 
 #include "core/dissemination.hpp"
@@ -139,7 +141,7 @@ TEST(Optimal, GreedyIsNearOptimal) {
 }
 
 TEST(Optimal, ZeroResolutionThrows) {
-  EXPECT_THROW(optimal_dissemination({}, 100, 0), std::invalid_argument);
+  EXPECT_THROW(optimal_dissemination({}, 100, 0), erpd::ContractViolation);
 }
 
 TEST(RoundRobin, RotationContinuesAcrossFrames) {

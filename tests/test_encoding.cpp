@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
+
 #include <random>
 
 #include "pointcloud/encoding.hpp"
@@ -60,22 +62,22 @@ TEST(Encoding, CompressionBeatsRawFormat) {
 
 TEST(Encoding, OversizedExtentThrows) {
   PointCloud c{{{0, 0, 0}, {2000.0, 0.0, 0.0}}};
-  EXPECT_THROW(encode(c, {0.02}), std::invalid_argument);
+  EXPECT_THROW(encode(c, {0.02}), erpd::ContractViolation);
   // But a coarser resolution can cover it.
   EXPECT_NO_THROW(encode(c, {0.05}));
 }
 
 TEST(Encoding, InvalidResolutionThrows) {
-  EXPECT_THROW(encode(PointCloud{}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(encode(PointCloud{}, {0.0}), erpd::ContractViolation);
 }
 
 TEST(Encoding, TruncatedBufferThrows) {
   std::mt19937_64 rng(8);
   EncodedCloud e = encode(random_cloud(10, 5.0, rng));
   e.bytes.resize(e.bytes.size() - 3);
-  EXPECT_THROW(decode(e), std::invalid_argument);
+  EXPECT_THROW(decode(e), erpd::ContractViolation);
   e.bytes.resize(4);
-  EXPECT_THROW(decode(e), std::invalid_argument);
+  EXPECT_THROW(decode(e), erpd::ContractViolation);
 }
 
 TEST(Encoding, NegativeCoordinatesSurvive) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
+
 #include <random>
 
 #include "geom/angle.hpp"
@@ -27,9 +29,9 @@ TEST(Gaussian2D, MahalanobisIsotropic) {
 }
 
 TEST(Gaussian2D, InvalidParamsThrow) {
-  EXPECT_THROW((Gaussian2D{{0, 0}, -1.0, 1.0, 0.0}), std::invalid_argument);
-  EXPECT_THROW((Gaussian2D{{0, 0}, 1.0, 0.0, 0.0}), std::invalid_argument);
-  EXPECT_THROW((Gaussian2D{{0, 0}, 1.0, 1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((Gaussian2D{{0, 0}, -1.0, 1.0, 0.0}), erpd::ContractViolation);
+  EXPECT_THROW((Gaussian2D{{0, 0}, 1.0, 0.0, 0.0}), erpd::ContractViolation);
+  EXPECT_THROW((Gaussian2D{{0, 0}, 1.0, 1.0, 1.0}), erpd::ContractViolation);
 }
 
 TEST(Gaussian2D, MassInCircleApproachesOne) {

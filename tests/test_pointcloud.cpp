@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
+
 #include "geom/angle.hpp"
 #include "pointcloud/ground_filter.hpp"
 #include "pointcloud/pointcloud.hpp"
@@ -110,8 +112,8 @@ TEST(VoxelGrid, DownsampleCentroidIsMean) {
 }
 
 TEST(VoxelGrid, InvalidVoxelSizeThrows) {
-  EXPECT_THROW(voxel_downsample(PointCloud{}, 0.0), std::invalid_argument);
-  EXPECT_THROW(voxel_downsample(PointCloud{}, -1.0), std::invalid_argument);
+  EXPECT_THROW(voxel_downsample(PointCloud{}, 0.0), erpd::ContractViolation);
+  EXPECT_THROW(voxel_downsample(PointCloud{}, -1.0), erpd::ContractViolation);
 }
 
 TEST(VoxelGrid, NegativeCoordinatesBinCorrectly) {

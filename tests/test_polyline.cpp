@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
+
 #include "geom/polyline.hpp"
 
 namespace erpd::geom {
@@ -130,7 +132,7 @@ TEST(Polyline, ResampledPreservesEndpointsAndLength) {
 
 TEST(Polyline, ProjectOnEmptyThrows) {
   Polyline p;
-  EXPECT_THROW(p.project({0.0, 0.0}), std::logic_error);
+  EXPECT_THROW(p.project({0.0, 0.0}), erpd::ContractViolation);
 }
 
 }  // namespace

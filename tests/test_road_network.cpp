@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
+
 #include "geom/angle.hpp"
 #include "sim/road_network.hpp"
 
@@ -46,10 +48,10 @@ TEST(RoadNetwork, RouteCountOneLane) {
 TEST(RoadNetwork, InvalidConfigThrows) {
   RoadConfig bad;
   bad.lanes_per_direction = 0;
-  EXPECT_THROW(RoadNetwork{bad}, std::invalid_argument);
+  EXPECT_THROW(RoadNetwork{bad}, erpd::ContractViolation);
   RoadConfig short_arm;
   short_arm.arm_length = 5.0;
-  EXPECT_THROW(RoadNetwork{short_arm}, std::invalid_argument);
+  EXPECT_THROW(RoadNetwork{short_arm}, erpd::ContractViolation);
 }
 
 TEST(RoadNetwork, RightHandTrafficLaneSides) {
