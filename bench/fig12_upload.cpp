@@ -22,9 +22,11 @@ int main() {
       "dense sensor (32 ch x 0.5 deg); uplink cap 16 Mbit/s (scaled, see "
       "DESIGN.md); mean over 2 seeds, 10 s");
 
-  std::printf("%8s | %28s | %22s\n", "", "(a) uplink Mbit/s", "(b) objects");
-  std::printf("%8s | %8s %8s %10s | %6s %6s %8s\n", "conn%", "Ours", "EMP",
-              "Unlimited", "Ours", "EMP", "Unlmtd");
+  std::printf("%8s | %28s | %22s | %25s\n", "", "(a) uplink Mbit/s",
+              "(b) objects", "(c) offered kB/fr (drop%)");
+  std::printf("%8s | %8s %8s %10s | %6s %6s %8s | %12s %12s\n", "conn%",
+              "Ours", "EMP", "Unlimited", "Ours", "EMP", "Unlmtd", "Ours",
+              "EMP");
 
   for (double conn : {0.2, 0.3, 0.4, 0.5}) {
     sim::ScenarioConfig cfg;
@@ -45,10 +47,19 @@ int main() {
     const auto obj = [](const edge::MethodMetrics& m) {
       return m.avg_objects_detected;
     };
-    std::printf("%8.0f | %8.2f %8.2f %10.2f | %6.1f %6.1f %8.1f\n",
-                conn * 100.0, bench::avg(o, up), bench::avg(e, up),
-                bench::avg(u, up), bench::avg(o, obj), bench::avg(e, obj),
-                bench::avg(u, obj));
+    const auto off = [](const edge::MethodMetrics& m) {
+      return m.uplink_offered_bytes_per_frame / 1024.0;
+    };
+    const auto drop = [](const edge::MethodMetrics& m) {
+      return 100.0 * m.uplink_drop_ratio;
+    };
+    std::printf(
+        "%8.0f | %8.2f %8.2f %10.2f | %6.1f %6.1f %8.1f | %6.1f (%3.0f) "
+        "%6.1f (%3.0f)\n",
+        conn * 100.0, bench::avg(o, up), bench::avg(e, up), bench::avg(u, up),
+        bench::avg(o, obj), bench::avg(e, obj), bench::avg(u, obj),
+        bench::avg(o, off), bench::avg(o, drop), bench::avg(e, off),
+        bench::avg(e, drop));
   }
 
   std::printf(
@@ -56,6 +67,8 @@ int main() {
       "EMP (static structure removed) and both are dwarfed by Unlimited's\n"
       "raw frames; EMP rides at/near the cap, so it detects fewer objects,\n"
       "and the gap widens as more vehicles share the uplink, while Ours\n"
-      "matches Unlimited's object count.\n");
+      "matches Unlimited's object count. Column (c) separates demand from\n"
+      "goodput: EMP offers more than the cap admits (high drop%%), while\n"
+      "Ours' moving-object uploads fit with room to spare.\n");
   return 0;
 }

@@ -1,0 +1,258 @@
+// Perf harness for the parallel frame pipeline.
+//
+// Runs the closed-loop system (kOurs: per-vehicle extraction + object
+// uploads; kEmp: blob uploads exercising the server-side segmentation path)
+// with the global pool at its auto size and again pinned to one worker, and
+// emits machine-readable BENCH_pipeline.json with per-stage p50/p95/mean,
+// aggregate points/sec, and the parallel-vs-serial speedup. It also
+// cross-checks the determinism contract: behavioral metrics must be exactly
+// equal at every thread count.
+//
+// Usage: perf_pipeline [--quick] [--out=FILE]
+//   --quick     fewer frames + one seed (CI smoke; seconds, not minutes)
+//   --out=FILE  output path (default BENCH_pipeline.json in the CWD)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/thread_pool.hpp"
+
+using namespace erpd;
+
+namespace {
+
+struct StageStats {
+  double p50{0.0};
+  double p95{0.0};
+  double mean{0.0};
+  std::size_t samples{0};
+};
+
+StageStats stats_of(std::vector<double> v) {
+  StageStats s;
+  s.samples = v.size();
+  if (v.empty()) return s;
+  std::sort(v.begin(), v.end());
+  const auto pct = [&](double p) {
+    const double idx = p * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.mean = bench::mean_of(v);
+  return s;
+}
+
+/// One method run at the current global thread count.
+struct RunResult {
+  double wall_seconds{0.0};
+  std::size_t frames{0};
+  std::size_t raw_points{0};
+  double sensing_seconds{0.0};  // summed sensing wall time
+  StageStats sensing;
+  StageStats extract;
+  StageStats merge;
+  StageStats track_relevance;
+  StageStats dissemination;
+  edge::MethodMetrics metrics;
+};
+
+RunResult run_once(edge::Method method, std::uint64_t seed, double duration) {
+  sim::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.speed_kmh = 30.0;
+  cfg.total_vehicles = 16;
+  cfg.pedestrians = 4;
+  cfg.connected_fraction = 0.5;
+  bench::dense_lidar(cfg);
+  cfg.world.lidar.noise_sigma = 0.02;  // exercise the per-azimuth RNG path
+
+  sim::Scenario sc = sim::make_unprotected_left_turn(cfg);
+  edge::RunnerConfig rc = edge::make_runner_config(method, bench::bench_wireless());
+  rc.duration = duration;
+
+  std::vector<double> sensing, extract, merge, track, diss;
+  RunResult r;
+  rc.on_frame = [&](const edge::FrameTrace& tr) {
+    ++r.frames;
+    r.raw_points += tr.raw_points;
+    sensing.push_back(tr.sensing_wall_seconds);
+    extract.push_back(tr.extract_max_seconds);
+    merge.push_back(tr.merge_seconds);
+    track.push_back(tr.track_relevance_seconds);
+    diss.push_back(tr.dissemination_seconds);
+  };
+
+  edge::SystemRunner runner(rc);
+  const auto t0 = std::chrono::steady_clock::now();
+  r.metrics = runner.run(sc);
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.sensing_seconds = std::accumulate(sensing.begin(), sensing.end(), 0.0);
+  r.sensing = stats_of(std::move(sensing));
+  r.extract = stats_of(std::move(extract));
+  r.merge = stats_of(std::move(merge));
+  r.track_relevance = stats_of(std::move(track));
+  r.dissemination = stats_of(std::move(diss));
+  return r;
+}
+
+/// Behavioral fingerprint: every simulated (non-wall-clock) quantity the run
+/// produces. Two runs are "identical" iff these match bit-for-bit.
+struct Fingerprint {
+  double up_bytes, down_bytes, offered, relevance, min_dist, gap;
+  int collisions, disseminations, entered;
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(const edge::MethodMetrics& m) {
+  return {m.uplink_bytes_per_frame,  m.downlink_bytes_per_frame,
+          m.uplink_offered_bytes_per_frame, m.delivered_relevance,
+          m.min_key_distance,        m.follower_min_gap,
+          m.collisions,              m.disseminations,
+          m.vehicles_entered};
+}
+
+void json_stage(std::FILE* f, const char* name, const StageStats& s,
+                bool last = false) {
+  std::fprintf(f,
+               "      \"%s\": {\"p50_ms\": %.6f, \"p95_ms\": %.6f, "
+               "\"mean_ms\": %.6f, \"samples\": %zu}%s\n",
+               name, s.p50 * 1e3, s.p95 * 1e3, s.mean * 1e3, s.samples,
+               last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const double duration = quick ? 2.0 : 8.0;
+  const std::vector<std::uint64_t> seeds =
+      quick ? std::vector<std::uint64_t>{1} : std::vector<std::uint64_t>{1, 2};
+  const std::vector<edge::Method> methods = {edge::Method::kOurs,
+                                             edge::Method::kEmp};
+
+  core::set_thread_count(0);  // auto: ERPD_THREADS env or hardware
+  const std::size_t auto_threads = core::thread_count();
+
+  bench::print_header("perf_pipeline - parallel frame pipeline",
+                      quick ? "quick mode (CI smoke)" : nullptr);
+  std::printf("threads: auto=%zu vs serial=1, %zu seed(s), %.0f s each\n\n",
+              auto_threads, seeds.size(), duration);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_pipeline: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"perf_pipeline\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"threads_auto\": %zu,\n", auto_threads);
+  std::fprintf(f, "  \"methods\": [\n");
+
+  bool all_deterministic = true;
+  for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+    const edge::Method method = methods[mi];
+
+    // Parallel (auto) pass, then the pinned serial pass over the same seeds.
+    double par_wall = 0.0, ser_wall = 0.0, par_sense = 0.0, ser_sense = 0.0;
+    std::size_t frames = 0, raw_points = 0;
+    std::vector<RunResult> par_runs;
+    bool deterministic = true;
+
+    core::set_thread_count(0);
+    for (const std::uint64_t seed : seeds) {
+      RunResult r = run_once(method, seed, duration);
+      par_wall += r.wall_seconds;
+      par_sense += r.sensing_seconds;
+      frames += r.frames;
+      raw_points += r.raw_points;
+      par_runs.push_back(std::move(r));
+    }
+    core::set_thread_count(1);
+    for (std::size_t si = 0; si < seeds.size(); ++si) {
+      RunResult r = run_once(method, seeds[si], duration);
+      ser_wall += r.wall_seconds;
+      ser_sense += r.sensing_seconds;
+      if (!(fingerprint(r.metrics) == fingerprint(par_runs[si].metrics))) {
+        deterministic = false;
+      }
+    }
+    core::set_thread_count(0);
+
+    all_deterministic = all_deterministic && deterministic;
+    const double speedup = par_wall > 0.0 ? ser_wall / par_wall : 0.0;
+    const double pts_per_sec =
+        par_sense > 0.0 ? static_cast<double>(raw_points) / par_sense : 0.0;
+
+    // Stage percentiles are reported from the first seed's parallel run
+    // (seeds share the scenario shape; pooling adds noise, not signal).
+    const RunResult& head = par_runs.front();
+
+    std::printf("%-10s wall %6.2fs (1 thr: %6.2fs)  speedup %.2fx  "
+                "%.2fM pts/s  deterministic=%s\n",
+                edge::to_string(method), par_wall, ser_wall, speedup,
+                pts_per_sec / 1e6, deterministic ? "yes" : "NO");
+    std::printf("           sensing p50 %.2f ms p95 %.2f ms | merge p50 %.3f "
+                "ms | track+rel p50 %.3f ms | diss p50 %.3f ms\n",
+                head.sensing.p50 * 1e3, head.sensing.p95 * 1e3,
+                head.merge.p50 * 1e3, head.track_relevance.p50 * 1e3,
+                head.dissemination.p50 * 1e3);
+
+    std::fprintf(f, "    {\n      \"method\": \"%s\",\n",
+                 edge::to_string(method));
+    std::fprintf(f, "      \"frames\": %zu,\n", frames);
+    std::fprintf(f, "      \"raw_points\": %zu,\n", raw_points);
+    std::fprintf(f, "      \"wall_seconds\": %.6f,\n", par_wall);
+    std::fprintf(f, "      \"wall_seconds_serial\": %.6f,\n", ser_wall);
+    std::fprintf(f, "      \"speedup_vs_1_thread\": %.4f,\n", speedup);
+    std::fprintf(f, "      \"sensing_points_per_sec\": %.1f,\n", pts_per_sec);
+    std::fprintf(f, "      \"deterministic_vs_serial\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(f, "      \"uplink_offered_bytes_per_frame\": %.1f,\n",
+                 head.metrics.uplink_offered_bytes_per_frame);
+    std::fprintf(f, "      \"uplink_drop_ratio\": %.4f,\n",
+                 head.metrics.uplink_drop_ratio);
+    json_stage(f, "sensing_wall", head.sensing);
+    json_stage(f, "extract_max", head.extract);
+    json_stage(f, "merge", head.merge);
+    json_stage(f, "track_relevance", head.track_relevance);
+    json_stage(f, "dissemination", head.dissemination, /*last=*/true);
+    std::fprintf(f, "    }%s\n", mi + 1 < methods.size() ? "," : "");
+  }
+
+  std::fprintf(f, "  ],\n  \"deterministic\": %s\n}\n",
+               all_deterministic ? "true" : "false");
+  std::fclose(f);
+
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!all_deterministic) {
+    std::fprintf(stderr,
+                 "perf_pipeline: FAIL - parallel and serial runs diverged\n");
+    return 1;
+  }
+  return 0;
+}

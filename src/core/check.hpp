@@ -1,0 +1,143 @@
+#pragma once
+// Unified contract / invariant layer.
+//
+// Every precondition, postcondition, and internal invariant in the repo is
+// expressed through these macros so violations produce one structured,
+// greppable diagnostic (kind, expression, file:line, formatted message) and
+// one typed exception, erpd::ContractViolation, that tests and callers can
+// catch uniformly.
+//
+//   ERPD_REQUIRE(cond, ...)     precondition on inputs — always on
+//   ERPD_ENSURE(cond, ...)      postcondition / invariant — always on
+//   ERPD_DCHECK(cond, ...)      internal invariant — on in debug builds and
+//                               whenever ERPD_ENABLE_DCHECKS is defined
+//                               (sanitizer builds define it, see
+//                               cmake/Sanitizers.cmake)
+//   ERPD_UNREACHABLE(...)       marks a path the control flow must not reach
+//
+// Trailing arguments after the condition are streamed into the message:
+//   ERPD_REQUIRE(eps > 0.0, "dbscan: eps must be > 0, got ", eps);
+//
+// This header is intentionally header-only and free of erpd dependencies so
+// every library (geom, pointcloud, sim, net, track, core, edge) can include
+// it without a link edge.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace erpd {
+
+/// Typed exception thrown by all contract macros. Derives from
+/// std::logic_error: a violated contract is a programming error, not an
+/// environmental condition.
+class ContractViolation : public std::logic_error {
+ public:
+  enum class Kind { kRequire, kEnsure, kDcheck, kUnreachable };
+
+  ContractViolation(Kind kind, const char* expression, const char* file,
+                    int line, std::string message)
+      : std::logic_error(format(kind, expression, file, line, message)),
+        kind_(kind),
+        expression_(expression),
+        file_(file),
+        line_(line),
+        message_(std::move(message)) {}
+
+  Kind kind() const noexcept { return kind_; }
+  /// The stringized condition, e.g. "eps > 0.0".
+  const char* expression() const noexcept { return expression_; }
+  const char* file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+  /// The formatted user message (may be empty).
+  const std::string& message() const noexcept { return message_; }
+
+  static const char* kind_name(Kind k) noexcept {
+    switch (k) {
+      case Kind::kRequire: return "REQUIRE";
+      case Kind::kEnsure: return "ENSURE";
+      case Kind::kDcheck: return "DCHECK";
+      case Kind::kUnreachable: return "UNREACHABLE";
+    }
+    return "CONTRACT";
+  }
+
+ private:
+  static std::string format(Kind kind, const char* expression,
+                            const char* file, int line,
+                            const std::string& message) {
+    std::ostringstream oss;
+    oss << "contract violation [" << kind_name(kind) << "] at " << file << ':'
+        << line;
+    if (expression != nullptr && expression[0] != '\0') {
+      oss << ": (" << expression << ") failed";
+    }
+    if (!message.empty()) {
+      oss << ": " << message;
+    }
+    return oss.str();
+  }
+
+  Kind kind_;
+  const char* expression_;
+  const char* file_;
+  int line_;
+  std::string message_;
+};
+
+namespace detail {
+
+inline std::string format_message() { return {}; }
+
+template <class... Parts>
+std::string format_message(const Parts&... parts) {
+  std::ostringstream oss;
+  (oss << ... << parts);
+  return oss.str();
+}
+
+[[noreturn]] inline void raise_contract_violation(ContractViolation::Kind kind,
+                                                  const char* expression,
+                                                  const char* file, int line,
+                                                  std::string message) {
+  throw ContractViolation(kind, expression, file, line, std::move(message));
+}
+
+}  // namespace detail
+}  // namespace erpd
+
+#define ERPD_CHECK_IMPL_(kind, cond, ...)                               \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::erpd::detail::raise_contract_violation(                         \
+          ::erpd::ContractViolation::Kind::kind, #cond, __FILE__,       \
+          __LINE__, ::erpd::detail::format_message(__VA_ARGS__));       \
+    }                                                                   \
+  } while (false)
+
+/// Precondition: validates caller-supplied inputs. Always enabled.
+#define ERPD_REQUIRE(cond, ...) ERPD_CHECK_IMPL_(kRequire, cond, __VA_ARGS__)
+
+/// Postcondition / invariant on computed state. Always enabled.
+#define ERPD_ENSURE(cond, ...) ERPD_CHECK_IMPL_(kEnsure, cond, __VA_ARGS__)
+
+/// Internal consistency check on hot paths. Compiled out in optimized
+/// builds unless ERPD_ENABLE_DCHECKS is defined (sanitizer builds turn it
+/// on); the condition still type-checks in all builds.
+#if defined(ERPD_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define ERPD_DCHECK(cond, ...) ERPD_CHECK_IMPL_(kDcheck, cond, __VA_ARGS__)
+#else
+#define ERPD_DCHECK(cond, ...)            \
+  do {                                    \
+    if (false) {                          \
+      static_cast<void>(cond);            \
+    }                                     \
+  } while (false)
+#endif
+
+/// Marks control-flow that must be impossible; always throws.
+#define ERPD_UNREACHABLE(...)                                           \
+  ::erpd::detail::raise_contract_violation(                             \
+      ::erpd::ContractViolation::Kind::kUnreachable, "", __FILE__,      \
+      __LINE__, ::erpd::detail::format_message(__VA_ARGS__))

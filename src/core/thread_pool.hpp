@@ -1,0 +1,96 @@
+#pragma once
+// Fixed-size worker pool + deterministic parallel loops.
+//
+// The pipeline's hot loops (per-vehicle sensing, per-azimuth ray casting,
+// per-blob segmentation) are data-parallel with no cross-iteration
+// dependencies. parallel_for / parallel_chunks split the index range into
+// contiguous chunks whose boundaries depend ONLY on (n, grain) — never on
+// the worker count — so per-chunk results merged in chunk order are
+// bit-identical for any ERPD_THREADS setting, including 1 (the serial
+// fallback runs the same chunks in order on the calling thread).
+//
+// Scheduling is dynamic (workers pull the next chunk index), which is safe
+// because callers write results into chunk- or element-indexed slots; only
+// the decomposition, not the schedule, can influence the output.
+//
+// The process-wide pool is sized from the ERPD_THREADS environment variable
+// (unset/0 = hardware concurrency) on first use and lives until exit.
+// set_thread_count() rebuilds it; it exists for the perf harness and the
+// determinism tests and must not race with concurrent parallel loops.
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace erpd::core {
+
+class ThreadPool {
+ public:
+  /// A pool with `workers` execution lanes. `workers - 1` threads are
+  /// spawned; the caller of run_chunks is the remaining lane.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return workers_; }
+
+  /// Invoke fn(chunk) for every chunk in [0, n_chunks), distributed over the
+  /// pool (the calling thread participates). Blocks until all chunks are
+  /// done. The first exception thrown by fn is rethrown to the caller after
+  /// the remaining chunks finish or are abandoned.
+  void run_chunks(std::size_t n_chunks,
+                  const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t workers_{1};
+};
+
+/// Process-wide pool used by parallel_for / parallel_chunks.
+ThreadPool& global_pool();
+
+/// Worker count of the global pool (== what parallel loops will use).
+std::size_t thread_count();
+
+/// Rebuild the global pool with `n` workers (0 = auto: ERPD_THREADS env or
+/// hardware concurrency). Harness/test setup only; not safe against
+/// concurrent parallel loops.
+void set_thread_count(std::size_t n);
+
+/// Number of chunks parallel_chunks(n, grain, ...) will produce. Exposed so
+/// callers can size per-chunk result slots up front.
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+/// Deterministic chunked loop: fn(begin, end, chunk) over [0, n) split into
+/// chunk_count(n, grain) contiguous chunks of `grain` elements (last chunk
+/// may be short). Use when fn accumulates into per-chunk scratch merged in
+/// chunk order afterwards.
+template <typename Fn>
+void parallel_chunks(std::size_t n, std::size_t grain, Fn&& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  global_pool().run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    fn(begin, std::min(n, begin + grain), c);
+  });
+}
+
+/// Element-wise parallel loop: fn(i) for i in [0, n). `grain` batches
+/// elements per chunk to amortize scheduling for cheap bodies.
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t grain, Fn&& fn) {
+  parallel_chunks(n, grain,
+                  [&](std::size_t begin, std::size_t end, std::size_t) {
+                    for (std::size_t i = begin; i < end; ++i) fn(i);
+                  });
+}
+
+}  // namespace erpd::core

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "core/thread_pool.hpp"
 
 #include "pointcloud/encoding.hpp"
 #include "pointcloud/voxel_grid.hpp"
@@ -64,7 +65,7 @@ std::vector<track::Detection> EdgeServer::build_detections(
 
   // Object-granular uploads (Ours) become detections directly; blob uploads
   // (EMP cells / raw frames) are merged and segmented server-side.
-  pc::PointCloud merged_blob;
+  std::vector<const pc::PointCloud*> blobs;
   for (const net::UploadFrame& frame : uploads) {
     for (const net::ObjectUpload& obj : frame.objects) {
       if (obj.object_granular) {
@@ -79,7 +80,7 @@ std::vector<track::Detection> EdgeServer::build_detections(
         d.truth_id = obj.truth_id;
         out.push_back(std::move(d));
       } else {
-        merged_blob.append(obj.cloud_world);
+        blobs.push_back(&obj.cloud_world);
       }
     }
   }
@@ -124,26 +125,50 @@ std::vector<track::Detection> EdgeServer::build_detections(
     out = std::move(fused);
   }
 
-  if (!merged_blob.empty()) {
-    // Server-side ground strip (raw uploads still carry ground returns) and
-    // voxel thinning, then density clustering into objects.
+  if (!blobs.empty()) {
+    // Server-side ground strip (raw uploads still carry ground returns):
+    // each blob filters into its own slot and slots concatenate in upload
+    // order, so the combined cloud is byte-identical to the serial merge for
+    // any thread count. Then voxel thinning and density clustering.
+    std::vector<pc::PointCloud> stripped(blobs.size());
+    core::parallel_for(blobs.size(), 1, [&](std::size_t b) {
+      const pc::PointCloud& src = *blobs[b];
+      pc::PointCloud& dst = stripped[b];
+      dst.reserve(src.size());
+      for (const geom::Vec3& p : src.points()) {
+        if (p.z > 0.25) dst.push_back(p);
+      }
+    });
     pc::PointCloud above;
-    above.reserve(merged_blob.size());
-    for (const geom::Vec3& p : merged_blob.points()) {
-      if (p.z > 0.25) above.push_back(p);
-    }
+    std::size_t total = 0;
+    for (const pc::PointCloud& s : stripped) total += s.size();
+    above.reserve(total);
+    for (const pc::PointCloud& s : stripped) above.append(s);
+
     const pc::PointCloud thin = pc::voxel_downsample(above, cfg_.detect_voxel);
-    const pc::DbscanResult seg = pc::dbscan(thin, cfg_.detect_dbscan);
-    for (const pc::ObjectCluster& c : pc::extract_clusters(thin, seg)) {
-      if (c.point_count() < 4) continue;
+    pc::DbscanConfig seg_cfg = cfg_.detect_dbscan;
+    seg_cfg.collect_clusters = true;
+    const pc::DbscanResult seg = pc::dbscan(thin, seg_cfg);
+    for (std::int32_t cid = 0; cid < seg.cluster_count; ++cid) {
+      // cluster_indices is ascending, so the centroid sum runs in the same
+      // order extract_clusters would use (bit-identical accumulation).
+      const std::vector<std::size_t> idx = seg.cluster_indices(cid);
+      if (idx.size() < 4) continue;
+      geom::Vec3 centroid{};
+      geom::Aabb footprint;
+      for (const std::size_t i : idx) {
+        centroid += thin[i];
+        footprint.expand(thin[i].xy());
+      }
+      centroid = centroid / static_cast<double>(idx.size());
       track::Detection d;
-      d.position = c.centroid.xy();
-      d.kind = classify_extent(c.footprint);
-      d.extent = c.footprint.empty()
+      d.position = centroid.xy();
+      d.kind = classify_extent(footprint);
+      d.extent = footprint.empty()
                      ? 0.0
-                     : std::max(c.footprint.extent().x, c.footprint.extent().y);
-      d.point_count = c.point_count();
-      d.payload_bytes = pc::encoded_size_bytes(c.point_count());
+                     : std::max(footprint.extent().x, footprint.extent().y);
+      d.point_count = idx.size();
+      d.payload_bytes = pc::encoded_size_bytes(idx.size());
       if (truth != nullptr) {
         d.truth_id = match_truth(*truth, d.position, 2.5);
       }

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "core/thread_pool.hpp"
+#include "pointcloud/encoding.hpp"
 
 namespace erpd::edge {
 
@@ -79,7 +81,7 @@ std::vector<net::UploadFrame> apply_uplink_cap(
         const std::size_t avail = budget.remaining();
         const std::size_t header = pc::encoded_size_bytes(0);
         if (avail > header + 64) {
-          const std::size_t pts = (avail - header) / 6;
+          const std::size_t pts = (avail - header) / pc::kBytesPerPoint;
           net::ObjectUpload part;
           part.object_granular = false;
           std::vector<geom::Vec3> sub(
@@ -139,6 +141,8 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   double sum_track = 0.0;
   double sum_diss = 0.0;
   double sum_downlink = 0.0;
+  double sum_offered = 0.0;
+  double sum_dropped = 0.0;
   int pipeline_frames = 0;
 
   const int steps =
@@ -160,14 +164,27 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       }
       const geom::VoronoiPartition voronoi(sites);
 
+      // Sensing + extraction fans out across vehicles: each task reads the
+      // (const) world and mutates only its own client and its own output
+      // slot, so the merge is just reading the slots in site order —
+      // identical to the serial loop for any thread count. The snapshot is
+      // hoisted out so N clients share one copy (world state does not change
+      // within a frame).
+      const std::vector<sim::AgentSnapshot> truth = world.snapshot();
+      uploads.resize(site_ids.size());
+      std::vector<ClientFrameStats> stats(site_ids.size());
+      const auto t_sense0 = Clock::now();
+      core::parallel_for(site_ids.size(), 1, [&](std::size_t i) {
+        uploads[i] = clients.at(site_ids[i])
+                         .make_upload(world, &voronoi, i, &stats[i], &truth);
+      });
+      const double sensing_wall =
+          std::chrono::duration<double>(Clock::now() - t_sense0).count();
       double max_extract = 0.0;
-      for (std::size_t i = 0; i < site_ids.size(); ++i) {
-        const sim::AgentId vid = site_ids[i];
-        ClientFrameStats stats;
-        net::UploadFrame f =
-            clients.at(vid).make_upload(world, &voronoi, i, &stats);
-        max_extract = std::max(max_extract, stats.processing_seconds);
-        uploads.push_back(std::move(f));
+      std::size_t raw_points = 0;
+      for (const ClientFrameStats& s : stats) {
+        max_extract = std::max(max_extract, s.processing_seconds);
+        raw_points += s.raw_points;
       }
 
       // --- Uplink cap ---
@@ -183,10 +200,10 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
         delivered_bytes += f.total_bytes();
       }
       up_meter.add(delivered_bytes);
-      (void)offered_bytes;
+      sum_offered += static_cast<double>(offered_bytes);
+      sum_dropped += static_cast<double>(offered_bytes - delivered_bytes);
 
       // --- Edge server ---
-      const std::vector<sim::AgentSnapshot> truth = world.snapshot();
       const FrameOutput fo =
           server.process_frame(delivered, world.time(), &truth);
 
@@ -220,6 +237,22 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
                  fo.timings.dissemination_seconds + t_down;
       sum_objects += static_cast<double>(fo.moving_tracks);
       ++pipeline_frames;
+
+      if (cfg_.on_frame) {
+        FrameTrace tr;
+        tr.frame = frame;
+        tr.vehicles = site_ids.size();
+        tr.raw_points = raw_points;
+        tr.offered_bytes = offered_bytes;
+        tr.delivered_bytes = delivered_bytes;
+        tr.sensing_wall_seconds = sensing_wall;
+        tr.extract_max_seconds = max_extract;
+        tr.merge_seconds = fo.timings.merge_seconds;
+        tr.track_relevance_seconds =
+            fo.timings.track_predict_seconds + fo.timings.relevance_seconds;
+        tr.dissemination_seconds = fo.timings.dissemination_seconds;
+        cfg_.on_frame(tr);
+      }
     }
 
     world.step();
@@ -269,6 +302,8 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   m.downlink_bytes_per_frame = down_meter.bytes_per_frame();
   if (pipeline_frames > 0) {
     const double n = pipeline_frames;
+    m.uplink_offered_bytes_per_frame = sum_offered / n;
+    m.uplink_drop_ratio = sum_offered > 0.0 ? sum_dropped / sum_offered : 0.0;
     m.avg_objects_detected = sum_objects / n;
     m.e2e_latency = sum_e2e / n;
     m.extraction_seconds = sum_extract / n;

@@ -13,6 +13,7 @@
 //   kOurs      — moving-object uploads + relevance-greedy dissemination;
 //   kUnlimited — raw uploads + full-map broadcast, no caps.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -28,6 +29,24 @@ enum class Method : std::uint8_t { kSingle, kEmp, kOurs, kUnlimited };
 
 const char* to_string(Method m);
 
+/// Per-pipeline-frame stage sample, emitted through RunnerConfig::on_frame.
+/// Wall-clock fields are host measurements (profiling), byte fields are
+/// simulated wire traffic.
+struct FrameTrace {
+  int frame{0};
+  std::size_t vehicles{0};      ///< connected vehicles sensing this frame
+  std::size_t raw_points{0};    ///< LiDAR returns across the fleet
+  std::size_t offered_bytes{0};   ///< uplink bytes before the shared cap
+  std::size_t delivered_bytes{0}; ///< uplink bytes after the cap
+  /// Wall time for the whole sensing+extraction fan-out (all vehicles).
+  double sensing_wall_seconds{0.0};
+  /// Slowest single vehicle's extraction time (the simulated-latency term).
+  double extract_max_seconds{0.0};
+  double merge_seconds{0.0};
+  double track_relevance_seconds{0.0};
+  double dissemination_seconds{0.0};
+};
+
 struct RunnerConfig {
   Method method{Method::kOurs};
   net::WirelessConfig wireless{};
@@ -38,6 +57,9 @@ struct RunnerConfig {
   /// How often the perception pipeline runs (defaults to the world dt, i.e.
   /// every LiDAR frame).
   int frames_per_pipeline{1};
+  /// Optional per-frame stage observer (used by the perf harness). Called
+  /// from run() on the caller's thread, once per pipeline frame.
+  std::function<void(const FrameTrace&)> on_frame;
 };
 
 struct MethodMetrics {
@@ -65,6 +87,12 @@ struct MethodMetrics {
   double downlink_mbps{0.0};
   double uplink_bytes_per_frame{0.0};
   double downlink_bytes_per_frame{0.0};
+  /// Uplink bytes the fleet *offered* per pipeline frame, before the shared
+  /// cap. With uplink_bytes_per_frame (delivered) this separates demand from
+  /// goodput when the cap binds.
+  double uplink_offered_bytes_per_frame{0.0};
+  /// Fraction of offered uplink bytes dropped by the cap, in [0, 1].
+  double uplink_drop_ratio{0.0};
   // Map quality.
   double avg_objects_detected{0.0};
   // Latency (seconds, averaged over pipeline frames).

@@ -12,12 +12,12 @@ using Clock = std::chrono::steady_clock;
 VehicleClient::VehicleClient(sim::AgentId vehicle, ClientConfig cfg)
     : vehicle_(vehicle), cfg_(cfg), extractor_(cfg.extractor) {}
 
-sim::AgentId VehicleClient::match_truth(const sim::World& world,
-                                        geom::Vec2 centroid, double radius,
-                                        sim::AgentId self) {
+sim::AgentId VehicleClient::match_truth(
+    const std::vector<sim::AgentSnapshot>& truth, geom::Vec2 centroid,
+    double radius, sim::AgentId self) {
   sim::AgentId best = sim::kInvalidAgent;
   double best_d = radius;
-  for (const sim::AgentSnapshot& a : world.snapshot()) {
+  for (const sim::AgentSnapshot& a : truth) {
     if (a.id == self || a.parked) continue;
     const double d = distance(a.position, centroid);
     if (d < best_d) {
@@ -28,10 +28,10 @@ sim::AgentId VehicleClient::match_truth(const sim::World& world,
   return best;
 }
 
-net::UploadFrame VehicleClient::make_upload(sim::World& world,
-                                            const geom::VoronoiPartition* voronoi,
-                                            std::size_t voronoi_cell,
-                                            ClientFrameStats* stats) {
+net::UploadFrame VehicleClient::make_upload(
+    const sim::World& world, const geom::VoronoiPartition* voronoi,
+    std::size_t voronoi_cell, ClientFrameStats* stats,
+    const std::vector<sim::AgentSnapshot>* truth) {
   net::UploadFrame frame;
   frame.vehicle = vehicle_;
   frame.timestamp = world.time();
@@ -46,6 +46,11 @@ net::UploadFrame VehicleClient::make_upload(sim::World& world,
     case UploadPolicy::kOursMovingObjects: {
       const pc::ExtractionResult ex =
           extractor_.process(scan.cloud, frame.pose, world.time());
+      std::vector<sim::AgentSnapshot> local_truth;
+      if (truth == nullptr && !ex.objects.empty()) {
+        local_truth = world.snapshot();
+        truth = &local_truth;
+      }
       for (const pc::ExtractedObject& obj : ex.objects) {
         net::ObjectUpload up;
         up.object_granular = true;
@@ -54,7 +59,7 @@ net::UploadFrame VehicleClient::make_upload(sim::World& world,
         up.point_count = obj.point_count;
         up.bytes = pc::encoded_size_bytes(obj.point_count);
         up.cloud_world = obj.points_world;
-        up.truth_id = match_truth(world, obj.centroid_world.xy(),
+        up.truth_id = match_truth(*truth, obj.centroid_world.xy(),
                                   cfg_.truth_match_radius, vehicle_);
         frame.objects.push_back(std::move(up));
       }

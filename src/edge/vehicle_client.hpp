@@ -56,18 +56,25 @@ class VehicleClient {
   /// Run the local pipeline on this frame and build the upload.
   /// `voronoi` must cover the connected fleet when policy is kEmpVoronoi
   /// (cell index = position of this vehicle among the sites).
-  net::UploadFrame make_upload(sim::World& world,
+  /// `truth` optionally supplies a precomputed world snapshot for truth
+  /// matching so that N clients sharing one frame do not each re-snapshot the
+  /// world; pass nullptr to snapshot internally. The world is only read, so
+  /// clients of distinct vehicles may run concurrently.
+  net::UploadFrame make_upload(const sim::World& world,
                                const geom::VoronoiPartition* voronoi,
                                std::size_t voronoi_cell,
-                               ClientFrameStats* stats = nullptr);
+                               ClientFrameStats* stats = nullptr,
+                               const std::vector<sim::AgentSnapshot>* truth =
+                                   nullptr);
 
  private:
   sim::AgentId vehicle_;
   ClientConfig cfg_;
   pc::MovingObjectExtractor extractor_;
 
-  static sim::AgentId match_truth(const sim::World& world, geom::Vec2 centroid,
-                                  double radius, sim::AgentId self);
+  static sim::AgentId match_truth(
+      const std::vector<sim::AgentSnapshot>& truth, geom::Vec2 centroid,
+      double radius, sim::AgentId self);
 };
 
 }  // namespace erpd::edge

@@ -1,6 +1,6 @@
 #include "pointcloud/dbscan.hpp"
 
-#include <deque>
+#include <algorithm>
 
 #include "core/check.hpp"
 #include "pointcloud/voxel_grid.hpp"
@@ -9,6 +9,15 @@ namespace erpd::pc {
 
 std::vector<std::size_t> DbscanResult::cluster_indices(
     std::int32_t cluster) const {
+  if (!clusters.empty()) {
+    ERPD_REQUIRE(cluster >= 0 &&
+                     static_cast<std::size_t>(cluster) < clusters.size(),
+                 "DbscanResult::cluster_indices: cluster ", cluster,
+                 " out of range [0, ", clusters.size(), ")");
+    std::vector<std::size_t> out = clusters[static_cast<std::size_t>(cluster)];
+    std::sort(out.begin(), out.end());
+    return out;
+  }
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (labels[i] == cluster) out.push_back(i);
@@ -28,25 +37,45 @@ DbscanResult dbscan(const PointCloud& cloud, const DbscanConfig& cfg) {
   enum : std::int8_t { kUnvisited = 0, kVisited = 1 };
   std::vector<std::int8_t> state(cloud.size(), kUnvisited);
 
+  // Scratch buffers reused across every region query and expansion — the
+  // queries dominate DBSCAN's runtime and must not allocate per call.
+  std::vector<std::size_t> neighbors;
+  std::vector<std::size_t> nn;
+  std::vector<std::size_t> frontier;
+  neighbors.reserve(64);
+  nn.reserve(64);
+  frontier.reserve(cloud.size());
+
+  // A point joins a cluster exactly once: it is either labeled with its
+  // final cluster in the same frontier pop that marks it visited, or claimed
+  // as a border point while noise. Appending at claim time therefore builds
+  // the per-cluster lists in one pass.
+  const auto claim = [&](std::size_t p, std::int32_t cid) {
+    res.labels[p] = cid;
+    if (cfg.collect_clusters) {
+      res.clusters[static_cast<std::size_t>(cid)].push_back(p);
+    }
+  };
+
   for (std::size_t i = 0; i < cloud.size(); ++i) {
     if (state[i] == kVisited) continue;
     state[i] = kVisited;
-    auto neighbors = grid.radius_neighbors(i, cfg.eps);
+    grid.radius_neighbors(i, cfg.eps, neighbors);
     if (neighbors.size() + 1 < cfg.min_pts) continue;  // not core -> noise (may
                                                        // be claimed later)
     const std::int32_t cid = res.cluster_count++;
-    res.labels[i] = cid;
-    std::deque<std::size_t> frontier(neighbors.begin(), neighbors.end());
-    while (!frontier.empty()) {
-      const std::size_t j = frontier.front();
-      frontier.pop_front();
-      if (res.labels[j] == kNoise) res.labels[j] = cid;  // border point claim
+    if (cfg.collect_clusters) res.clusters.emplace_back();
+    claim(i, cid);
+    frontier.assign(neighbors.begin(), neighbors.end());
+    std::size_t head = 0;
+    while (head < frontier.size()) {
+      const std::size_t j = frontier[head++];
+      if (res.labels[j] == kNoise) claim(j, cid);  // border point claim
       if (state[j] == kVisited) continue;
       state[j] = kVisited;
-      res.labels[j] = cid;
-      auto nn = grid.radius_neighbors(j, cfg.eps);
+      grid.radius_neighbors(j, cfg.eps, nn);
       if (nn.size() + 1 >= cfg.min_pts) {
-        for (std::size_t k : nn) {
+        for (const std::size_t k : nn) {
           if (state[k] == kUnvisited || res.labels[k] == kNoise) {
             frontier.push_back(k);
           }

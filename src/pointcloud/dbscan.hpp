@@ -19,6 +19,10 @@ struct DbscanConfig {
   /// Minimum neighborhood size (including the point itself) to be a core
   /// point.
   std::size_t min_pts{5};
+  /// When true, DbscanResult::clusters is filled during the scan (one pass,
+  /// no extra label walk); each list holds the cluster's point indices in
+  /// discovery (BFS) order.
+  bool collect_clusters{false};
 };
 
 /// Label for points not assigned to any cluster.
@@ -28,8 +32,12 @@ struct DbscanResult {
   /// Per-point cluster id in [0, cluster_count) or kNoise.
   std::vector<std::int32_t> labels;
   std::int32_t cluster_count{0};
+  /// Per-cluster point indices in discovery order; empty unless the run used
+  /// DbscanConfig::collect_clusters.
+  std::vector<std::vector<std::size_t>> clusters;
 
-  /// Point indices of a given cluster.
+  /// Point indices of a given cluster, ascending. O(k log k) when clusters
+  /// were collected, O(n) otherwise.
   std::vector<std::size_t> cluster_indices(std::int32_t cluster) const;
 };
 

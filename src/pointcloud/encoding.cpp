@@ -10,9 +10,7 @@ namespace erpd::pc {
 
 namespace {
 
-constexpr std::size_t kHeaderBytes =
-    8 /*count*/ + 8 /*resolution*/ + 3 * 8 /*origin*/;
-constexpr std::size_t kBytesPerPoint = 6;  // 3 x uint16 offsets
+constexpr std::size_t kHeaderBytes = kEncodedHeaderBytes;
 
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));

@@ -19,6 +19,13 @@ struct EncodingConfig {
   double resolution{0.02};
 };
 
+/// Wire-format constants, exported so schedulers that size or truncate
+/// payloads (e.g. the uplink cap) stay in lockstep with the codec instead of
+/// hardcoding byte counts.
+inline constexpr std::size_t kEncodedHeaderBytes =
+    8 /*count*/ + 8 /*resolution*/ + 3 * 8 /*origin*/;
+inline constexpr std::size_t kBytesPerPoint = 6;  // 3 x uint16 offsets
+
 /// Serialized cloud: self-describing byte buffer.
 struct EncodedCloud {
   std::vector<std::uint8_t> bytes;

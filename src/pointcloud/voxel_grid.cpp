@@ -1,6 +1,8 @@
 #include "pointcloud/voxel_grid.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/check.hpp"
 
@@ -15,21 +17,40 @@ VoxelKey voxel_of(geom::Vec3 p, double voxel_size) {
 PointCloud voxel_downsample(const PointCloud& cloud, double voxel_size) {
   ERPD_REQUIRE(voxel_size > 0.0,
                "voxel_downsample: voxel_size must be > 0, got ", voxel_size);
+  if (cloud.empty()) return {};
+
+  // Flat open-addressing accumulator (linear probing, power-of-two capacity,
+  // load factor <= 0.5). Compared to unordered_map this removes per-node
+  // allocations on the hot path and makes the output order first-seen —
+  // deterministic for a given input instead of hash-layout dependent.
   struct Acc {
+    VoxelKey key;
     geom::Vec3 sum{};
-    std::size_t n{0};
+    std::uint32_t n{0};
   };
-  std::unordered_map<VoxelKey, Acc, VoxelKeyHash> acc;
-  acc.reserve(cloud.size());
+  std::size_t cap = 16;
+  while (cap < cloud.size() * 2) cap <<= 1;
+  std::vector<Acc> slots(cap);
+  std::vector<std::size_t> order;
+  order.reserve(cloud.size() / 2);
+  const VoxelKeyHash hash;
+  const std::size_t mask = cap - 1;
   for (const geom::Vec3& p : cloud.points()) {
-    Acc& a = acc[voxel_of(p, voxel_size)];
+    const VoxelKey k = voxel_of(p, voxel_size);
+    std::size_t s = hash(k) & mask;
+    while (slots[s].n != 0 && !(slots[s].key == k)) s = (s + 1) & mask;
+    Acc& a = slots[s];
+    if (a.n == 0) {
+      a.key = k;
+      order.push_back(s);
+    }
     a.sum += p;
     ++a.n;
   }
   PointCloud out;
-  out.reserve(acc.size());
-  for (const auto& [key, a] : acc) {
-    out.push_back(a.sum / static_cast<double>(a.n));
+  out.reserve(order.size());
+  for (const std::size_t s : order) {
+    out.push_back(slots[s].sum / static_cast<double>(slots[s].n));
   }
   return out;
 }
@@ -39,41 +60,75 @@ PointGrid::PointGrid(const PointCloud& cloud, double cell_size)
   ERPD_REQUIRE(cell_size > 0.0, "PointGrid: cell_size must be > 0, got ",
                cell_size);
   cells_.reserve(cloud.size());
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  lo_ = {kMax, kMax, kMax};
+  hi_ = {kMin, kMin, kMin};
   for (std::size_t i = 0; i < cloud.size(); ++i) {
-    cells_[voxel_of(cloud[i], cell_)].push_back(i);
+    const VoxelKey k = voxel_of(cloud[i], cell_);
+    cells_[k].push_back(i);
+    lo_ = {std::min(lo_.x, k.x), std::min(lo_.y, k.y), std::min(lo_.z, k.z)};
+    hi_ = {std::max(hi_.x, k.x), std::max(hi_.y, k.y), std::max(hi_.z, k.z)};
   }
 }
 
-std::vector<std::size_t> PointGrid::radius_neighbors(std::size_t i,
-                                                     double radius) const {
-  ERPD_REQUIRE(i < cloud_.size(), "PointGrid::radius_neighbors: index ", i,
-               " out of range (size ", cloud_.size(), ")");
-  std::vector<std::size_t> out = radius_neighbors(cloud_[i], radius);
-  std::erase(out, i);
-  return out;
-}
-
-std::vector<std::size_t> PointGrid::radius_neighbors(geom::Vec3 q,
-                                                     double radius) const {
-  std::vector<std::size_t> out;
+void PointGrid::collect_neighbors(geom::Vec3 q, double radius,
+                                  std::size_t skip,
+                                  std::vector<std::size_t>& out) const {
+  out.clear();
+  if (cells_.empty()) return;
   const double r2 = radius * radius;
-  // Number of cell rings needed to cover the query radius.
+  // Number of cell rings needed to cover the query radius, clamped per axis
+  // to the occupied-cell bounding box so empty space is never probed. When
+  // the radius spans the cloud's full z extent this collapses the z loop to
+  // the occupied slab (2D fast path).
   const std::int64_t rings =
       static_cast<std::int64_t>(std::ceil(radius / cell_));
   const VoxelKey c = voxel_of(q, cell_);
-  for (std::int64_t dx = -rings; dx <= rings; ++dx) {
-    for (std::int64_t dy = -rings; dy <= rings; ++dy) {
-      for (std::int64_t dz = -rings; dz <= rings; ++dz) {
-        const auto it = cells_.find({c.x + dx, c.y + dy, c.z + dz});
+  const std::int64_t x0 = std::max(c.x - rings, lo_.x);
+  const std::int64_t x1 = std::min(c.x + rings, hi_.x);
+  const std::int64_t y0 = std::max(c.y - rings, lo_.y);
+  const std::int64_t y1 = std::min(c.y + rings, hi_.y);
+  const std::int64_t z0 = std::max(c.z - rings, lo_.z);
+  const std::int64_t z1 = std::min(c.z + rings, hi_.z);
+  for (std::int64_t dx = x0; dx <= x1; ++dx) {
+    for (std::int64_t dy = y0; dy <= y1; ++dy) {
+      for (std::int64_t dz = z0; dz <= z1; ++dz) {
+        const auto it = cells_.find({dx, dy, dz});
         if (it == cells_.end()) continue;
-        for (std::size_t idx : it->second) {
-          if ((cloud_[idx] - q).norm_sq() <= r2) {
+        for (const std::size_t idx : it->second) {
+          if (idx != skip && (cloud_[idx] - q).norm_sq() <= r2) {
             out.push_back(idx);
           }
         }
       }
     }
   }
+}
+
+void PointGrid::radius_neighbors(std::size_t i, double radius,
+                                 std::vector<std::size_t>& out) const {
+  ERPD_REQUIRE(i < cloud_.size(), "PointGrid::radius_neighbors: index ", i,
+               " out of range (size ", cloud_.size(), ")");
+  collect_neighbors(cloud_[i], radius, i, out);
+}
+
+void PointGrid::radius_neighbors(geom::Vec3 q, double radius,
+                                 std::vector<std::size_t>& out) const {
+  collect_neighbors(q, radius, kNoSkip, out);
+}
+
+std::vector<std::size_t> PointGrid::radius_neighbors(std::size_t i,
+                                                     double radius) const {
+  std::vector<std::size_t> out;
+  radius_neighbors(i, radius, out);
+  return out;
+}
+
+std::vector<std::size_t> PointGrid::radius_neighbors(geom::Vec3 q,
+                                                     double radius) const {
+  std::vector<std::size_t> out;
+  radius_neighbors(q, radius, out);
   return out;
 }
 

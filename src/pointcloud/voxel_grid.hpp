@@ -32,7 +32,8 @@ struct VoxelKeyHash {
 
 VoxelKey voxel_of(geom::Vec3 p, double voxel_size);
 
-/// Downsample: centroid of the points in each occupied voxel.
+/// Downsample: centroid of the points in each occupied voxel. Output order is
+/// first-seen voxel order (deterministic for a given input order).
 PointCloud voxel_downsample(const PointCloud& cloud, double voxel_size);
 
 /// Spatial hash over points, supporting radius queries. Bucket size should be
@@ -47,9 +48,28 @@ class PointGrid {
   /// Indices of points within `radius` of an arbitrary query point.
   std::vector<std::size_t> radius_neighbors(geom::Vec3 q, double radius) const;
 
+  /// Allocation-free variants for hot loops (DBSCAN region queries): results
+  /// replace the contents of `out`, whose capacity is reused across calls.
+  void radius_neighbors(std::size_t i, double radius,
+                        std::vector<std::size_t>& out) const;
+  void radius_neighbors(geom::Vec3 q, double radius,
+                        std::vector<std::size_t>& out) const;
+
  private:
+  static constexpr std::size_t kNoSkip = static_cast<std::size_t>(-1);
+
+  /// Shared query core; `skip` excludes one index (the query point itself).
+  void collect_neighbors(geom::Vec3 q, double radius, std::size_t skip,
+                         std::vector<std::size_t>& out) const;
+
   const PointCloud& cloud_;
   double cell_;
+  /// Occupied-cell bounding box: ring scans clamp to it, which in particular
+  /// collapses the z loop to the occupied slab whenever the query radius
+  /// spans the cloud's z extent (the common case after ground removal) —
+  /// a 2D fast path without a separate planar index.
+  VoxelKey lo_{};
+  VoxelKey hi_{};
   std::unordered_map<VoxelKey, std::vector<std::size_t>, VoxelKeyHash> cells_;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "geom/angle.hpp"
 
 namespace erpd::sim {
@@ -55,21 +57,32 @@ AngularSpan subtended(Vec2 eye, const geom::Obb& box) {
   return span;
 }
 
+/// Azimuths per parallel chunk. Fixed (never derived from the worker count)
+/// so the chunk decomposition — and with it the merged output — is identical
+/// for every ERPD_THREADS setting.
+constexpr std::size_t kAzimuthGrain = 64;
+
 }  // namespace
 
 LidarScan LidarSensor::scan(const geom::Pose& pose,
                             std::span<const LidarTarget> targets,
                             std::mt19937_64& rng) const {
   LidarScan out;
-  out.cloud.reserve(cfg_.max_points() / 4);
-  std::normal_distribution<double> noise(0.0, cfg_.noise_sigma);
 
   const Vec2 eye = pose.position.xy();
   const double sensor_z = pose.position.z;
   const int n_az = cfg_.azimuth_count();
   const double az_step = geom::kTwoPi / n_az;
 
-  // Angular culling: precompute each target's subtended span.
+  // Range noise is derived per azimuth from one base draw, so each azimuth's
+  // stream is independent of the order azimuths are processed in — the
+  // parallel and serial schedules produce bit-identical clouds. With noise
+  // disabled the caller's RNG is left untouched (as before).
+  const bool noisy = cfg_.noise_sigma > 0.0;
+  const std::uint64_t noise_base = noisy ? rng() : 0;
+
+  // Angular culling: precompute each target's subtended span (shared,
+  // read-only across chunks).
   struct Candidate {
     const LidarTarget* target;
     AngularSpan span;
@@ -86,59 +99,95 @@ LidarScan LidarSensor::scan(const geom::Pose& pose,
     double dist;
     const LidarTarget* target;
   };
-  std::vector<Hit> hits;
 
-  for (int ia = 0; ia < n_az; ++ia) {
-    const double az_world = -geom::kPi + ia * az_step;
-    const Vec2 dir = Vec2::from_heading(az_world);
-    const geom::Segment ray{eye, eye + dir * cfg_.max_range};
+  // Per-chunk accumulation, merged in chunk (= azimuth) order afterwards.
+  struct ChunkOut {
+    std::vector<Vec3> points;
+    std::unordered_map<AgentId, std::size_t> points_per_agent;
+    std::size_t ground_points{0};
+    std::size_t static_points{0};
+  };
+  const std::size_t n_chunks =
+      core::chunk_count(static_cast<std::size_t>(n_az), kAzimuthGrain);
+  std::vector<ChunkOut> chunks(n_chunks);
 
-    // All obstructions along this azimuth, nearest first.
-    hits.clear();
-    for (const Candidate& c : candidates) {
-      if (!c.span.covers(az_world)) continue;
-      const double t = c.target->footprint.ray_hit(ray);
-      if (t >= 0.0) hits.push_back({t * cfg_.max_range, c.target});
+  core::parallel_chunks(
+      static_cast<std::size_t>(n_az), kAzimuthGrain,
+      [&](std::size_t az_begin, std::size_t az_end, std::size_t ci) {
+        ChunkOut& co = chunks[ci];
+        co.points.reserve((az_end - az_begin) *
+                          static_cast<std::size_t>(cfg_.channels) / 4);
+        std::vector<Hit> hits;  // reused across this chunk's azimuths
+
+        for (std::size_t ia = az_begin; ia < az_end; ++ia) {
+          const double az_world =
+              -geom::kPi + static_cast<double>(ia) * az_step;
+          const Vec2 dir = Vec2::from_heading(az_world);
+          const geom::Segment ray{eye, eye + dir * cfg_.max_range};
+
+          core::SplitMix64 az_rng(core::seed_mix(noise_base, ia));
+          std::normal_distribution<double> noise(0.0, cfg_.noise_sigma);
+
+          // All obstructions along this azimuth, nearest first.
+          hits.clear();
+          for (const Candidate& c : candidates) {
+            if (!c.span.covers(az_world)) continue;
+            const double t = c.target->footprint.ray_hit(ray);
+            if (t >= 0.0) hits.push_back({t * cfg_.max_range, c.target});
+          }
+          std::sort(hits.begin(), hits.end(),
+                    [](const Hit& a, const Hit& b) { return a.dist < b.dist; });
+
+          for (const double elev : elevations_) {
+            const double tan_e = std::tan(elev);
+            // First prism whose vertical extent intersects the beam.
+            const LidarTarget* struck = nullptr;
+            double struck_dist = 0.0;
+            for (const Hit& h : hits) {
+              const double z = sensor_z + h.dist * tan_e;
+              if (z >= h.target->base_z &&
+                  z <= h.target->base_z + h.target->height) {
+                struck = h.target;
+                struck_dist = h.dist;
+                break;
+              }
+            }
+            if (struck != nullptr) {
+              const double d = struck_dist + (noisy ? noise(az_rng) : 0.0);
+              const Vec2 pxy = eye + dir * d;
+              co.points.push_back(Vec3{pxy, sensor_z + struck_dist * tan_e});
+              if (struck->id >= 0) {
+                ++co.points_per_agent[struck->id];
+              } else {
+                ++co.static_points;
+              }
+              continue;
+            }
+            // No prism in the way; downward beams reach the ground.
+            if (tan_e < 0.0) {
+              const double ground_d = -sensor_z / tan_e;
+              if (ground_d <= cfg_.max_range) {
+                const double d = ground_d + (noisy ? noise(az_rng) : 0.0);
+                const Vec2 pxy = eye + dir * d;
+                co.points.push_back(Vec3{pxy, 0.0});
+                ++co.ground_points;
+              }
+            }
+          }
+        }
+      });
+
+  // Deterministic reduction: concatenate chunk outputs in azimuth order.
+  std::size_t total = 0;
+  for (const ChunkOut& co : chunks) total += co.points.size();
+  out.cloud.reserve(total);
+  for (const ChunkOut& co : chunks) {
+    for (const Vec3& p : co.points) out.cloud.push_back(p);
+    for (const auto& [id, n] : co.points_per_agent) {
+      out.points_per_agent[id] += n;
     }
-    std::sort(hits.begin(), hits.end(),
-              [](const Hit& a, const Hit& b) { return a.dist < b.dist; });
-
-    for (double elev : elevations_) {
-      const double tan_e = std::tan(elev);
-      // First prism whose vertical extent intersects the beam.
-      const LidarTarget* struck = nullptr;
-      double struck_dist = 0.0;
-      for (const Hit& h : hits) {
-        const double z = sensor_z + h.dist * tan_e;
-        if (z >= h.target->base_z && z <= h.target->base_z + h.target->height) {
-          struck = h.target;
-          struck_dist = h.dist;
-          break;
-        }
-      }
-      if (struck != nullptr) {
-        const double d =
-            struck_dist + (cfg_.noise_sigma > 0 ? noise(rng) : 0.0);
-        const Vec2 pxy = eye + dir * d;
-        out.cloud.push_back(Vec3{pxy, sensor_z + struck_dist * tan_e});
-        if (struck->id >= 0) {
-          ++out.points_per_agent[struck->id];
-        } else {
-          ++out.static_points;
-        }
-        continue;
-      }
-      // No prism in the way; downward beams reach the ground.
-      if (tan_e < 0.0) {
-        const double ground_d = -sensor_z / tan_e;
-        if (ground_d <= cfg_.max_range) {
-          const double d = ground_d + (cfg_.noise_sigma > 0 ? noise(rng) : 0.0);
-          const Vec2 pxy = eye + dir * d;
-          out.cloud.push_back(Vec3{pxy, 0.0});
-          ++out.ground_points;
-        }
-      }
-    }
+    out.ground_points += co.ground_points;
+    out.static_points += co.static_points;
   }
 
   // Convert world-frame returns into the sensor frame (the uplink operates

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/check.hpp"
+#include "core/rng.hpp"
 
 namespace erpd::sim {
 
@@ -399,11 +400,18 @@ std::vector<LidarTarget> World::lidar_targets(AgentId exclude) const {
   return out;
 }
 
-LidarScan World::scan_from(AgentId vehicle_id) {
+LidarScan World::scan_from(AgentId vehicle_id) const {
   const Vehicle* v = find_vehicle(vehicle_id);
   if (v == nullptr) return {};
   const auto targets = lidar_targets(vehicle_id);
-  return lidar_.scan(v->sensor_pose(net_, cfg_.sensor_height), targets, rng_);
+  // Per-scan RNG seeded from (world seed, vehicle, tick): the noise stream
+  // is a pure function of who scans when, never of which other vehicles
+  // scanned first — scans can run concurrently and stay deterministic.
+  const auto tick = static_cast<std::uint64_t>(std::llround(time_ / cfg_.dt));
+  std::mt19937_64 scan_rng(core::seed_mix(
+      cfg_.seed, static_cast<std::uint64_t>(vehicle_id), tick));
+  return lidar_.scan(v->sensor_pose(net_, cfg_.sensor_height), targets,
+                     scan_rng);
 }
 
 bool World::agent_visible_from(AgentId viewer, AgentId target) const {

@@ -100,8 +100,10 @@ class World {
   /// All LiDAR-visible prisms except the viewer itself.
   std::vector<LidarTarget> lidar_targets(AgentId exclude = kInvalidAgent) const;
 
-  /// Ray-cast LiDAR scan from a vehicle's roof sensor.
-  LidarScan scan_from(AgentId vehicle_id);
+  /// Ray-cast LiDAR scan from a vehicle's roof sensor. Noise is seeded
+  /// per (world seed, vehicle, tick), so concurrent scans from different
+  /// vehicles are independent and deterministic.
+  LidarScan scan_from(AgentId vehicle_id) const;
 
   /// Driver/sensor line-of-sight check (range + occlusion).
   bool agent_visible_from(AgentId viewer, AgentId target) const;

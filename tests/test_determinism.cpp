@@ -1,0 +1,179 @@
+// Determinism contract of the parallel pipeline: every parallel loop must
+// produce bit-identical output for any ERPD_THREADS setting. These tests run
+// the RNG-bearing LiDAR scan, DBSCAN's scratch/collect paths, and a short
+// closed-loop scenario at 1, 2, and 8 workers and require exact equality.
+// They run under TSan in CI, so they also double as a race detector for the
+// pool itself.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/thread_pool.hpp"
+#include "edge/system_runner.hpp"
+#include "pointcloud/dbscan.hpp"
+#include "pointcloud/encoding.hpp"
+#include "pointcloud/voxel_grid.hpp"
+#include "sim/lidar.hpp"
+
+namespace erpd {
+namespace {
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+/// Restores the auto pool size when a test exits.
+struct PoolGuard {
+  ~PoolGuard() { core::set_thread_count(0); }
+};
+
+// ---------------------------------------------------------------------------
+// LidarSensor::scan with range noise enabled.
+// ---------------------------------------------------------------------------
+
+sim::LidarScan scan_noisy(std::size_t threads) {
+  core::set_thread_count(threads);
+  sim::LidarConfig cfg;
+  cfg.channels = 16;
+  cfg.azimuth_step_deg = 1.0;
+  cfg.max_range = 50.0;
+  cfg.noise_sigma = 0.05;  // exercises the per-azimuth RNG derivation
+  sim::LidarSensor lidar(cfg);
+  std::mt19937_64 rng(42);
+  geom::Pose pose;
+  pose.position = {{0.0, 0.0}, 1.8};
+  const std::vector<sim::LidarTarget> targets = {
+      {geom::Obb{{10.0, 0.0}, 0.3, 4.5, 1.9}, 0.0, 1.6, 1},
+      {geom::Obb{{18.0, 6.0}, 0.0, 0.5, 0.5}, 0.0, 1.75, 2},
+      {geom::Obb{{15.0, -8.0}, 0.0, 20.0, 4.0}, 0.0, 8.0, -5},
+  };
+  return lidar.scan(pose, targets, rng);
+}
+
+TEST(Determinism, LidarScanIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const sim::LidarScan ref = scan_noisy(1);
+  ASSERT_GT(ref.cloud.size(), 0u);
+  const pc::EncodedCloud ref_bytes = pc::encode(ref.cloud);
+
+  for (const std::size_t t : kThreadCounts) {
+    const sim::LidarScan got = scan_noisy(t);
+    EXPECT_EQ(got.cloud.size(), ref.cloud.size()) << t << " threads";
+    EXPECT_EQ(got.ground_points, ref.ground_points) << t << " threads";
+    EXPECT_EQ(got.static_points, ref.static_points) << t << " threads";
+    EXPECT_EQ(got.points_per_agent, ref.points_per_agent) << t << " threads";
+    // Byte-exact cloud: same points in the same order, down to the noise.
+    EXPECT_EQ(pc::encode(got.cloud).bytes, ref_bytes.bytes) << t << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DBSCAN: scratch-buffer queries and one-pass cluster collection must agree
+// with the baseline path exactly.
+// ---------------------------------------------------------------------------
+
+pc::PointCloud clustered_cloud() {
+  pc::PointCloud cloud;
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> jitter(0.0, 0.2);
+  for (const auto [cx, cy] : {std::pair{0.0, 0.0}, {8.0, 1.0}, {3.0, 9.0}}) {
+    for (int i = 0; i < 60; ++i) {
+      cloud.push_back({cx + jitter(rng), cy + jitter(rng), jitter(rng)});
+    }
+  }
+  for (int i = 0; i < 10; ++i) {  // sparse noise
+    cloud.push_back({20.0 + 3.0 * i, -10.0, 0.0});
+  }
+  return cloud;
+}
+
+TEST(Determinism, DbscanCollectClustersMatchesLabelScan) {
+  const pc::PointCloud cloud = clustered_cloud();
+  pc::DbscanConfig cfg;
+  cfg.eps = 0.8;
+  cfg.min_pts = 4;
+
+  const pc::DbscanResult plain = pc::dbscan(cloud, cfg);
+  cfg.collect_clusters = true;
+  const pc::DbscanResult collected = pc::dbscan(cloud, cfg);
+
+  ASSERT_EQ(plain.cluster_count, collected.cluster_count);
+  EXPECT_EQ(plain.labels, collected.labels);
+  ASSERT_EQ(collected.clusters.size(),
+            static_cast<std::size_t>(collected.cluster_count));
+  for (std::int32_t c = 0; c < plain.cluster_count; ++c) {
+    EXPECT_EQ(plain.cluster_indices(c), collected.cluster_indices(c))
+        << "cluster " << c;
+  }
+}
+
+TEST(Determinism, PointGridScratchOverloadMatchesReturningOverload) {
+  const pc::PointCloud cloud = clustered_cloud();
+  const pc::PointGrid grid(cloud, 0.8);
+  std::vector<std::size_t> scratch;
+  for (std::size_t i = 0; i < cloud.size(); i += 7) {
+    const std::vector<std::size_t> ret = grid.radius_neighbors(i, 0.8);
+    grid.radius_neighbors(i, 0.8, scratch);
+    EXPECT_EQ(ret, scratch) << "query point " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop scenario: the whole frame pipeline (parallel sensing fan-out,
+// blob segmentation, dissemination) must yield identical behavioral metrics.
+// ---------------------------------------------------------------------------
+
+edge::MethodMetrics run_scenario(edge::Method method, std::size_t threads) {
+  core::set_thread_count(threads);
+  sim::ScenarioConfig cfg;
+  cfg.speed_kmh = 30.0;
+  cfg.total_vehicles = 10;
+  cfg.pedestrians = 2;
+  cfg.connected_fraction = 0.5;
+  cfg.seed = 11;
+  cfg.world.lidar.channels = 16;
+  cfg.world.lidar.azimuth_step_deg = 1.0;
+  cfg.world.lidar.noise_sigma = 0.03;  // noisy path must stay deterministic
+  sim::Scenario sc = sim::make_unprotected_left_turn(cfg);
+
+  edge::RunnerConfig rc = edge::make_runner_config(method);
+  rc.duration = 2.0;
+  edge::SystemRunner runner(rc);
+  return runner.run(sc);
+}
+
+void expect_identical(const edge::MethodMetrics& a,
+                      const edge::MethodMetrics& b, std::size_t threads) {
+  // Simulated quantities only — wall-clock timing fields legitimately vary.
+  EXPECT_EQ(a.uplink_bytes_per_frame, b.uplink_bytes_per_frame) << threads;
+  EXPECT_EQ(a.uplink_offered_bytes_per_frame, b.uplink_offered_bytes_per_frame)
+      << threads;
+  EXPECT_EQ(a.uplink_drop_ratio, b.uplink_drop_ratio) << threads;
+  EXPECT_EQ(a.downlink_bytes_per_frame, b.downlink_bytes_per_frame) << threads;
+  EXPECT_EQ(a.avg_objects_detected, b.avg_objects_detected) << threads;
+  EXPECT_EQ(a.delivered_relevance, b.delivered_relevance) << threads;
+  EXPECT_EQ(a.disseminations, b.disseminations) << threads;
+  EXPECT_EQ(a.collisions, b.collisions) << threads;
+  EXPECT_EQ(a.min_key_distance, b.min_key_distance) << threads;
+  EXPECT_EQ(a.vehicles_entered, b.vehicles_entered) << threads;
+}
+
+TEST(Determinism, SystemRunnerOursIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const edge::MethodMetrics ref = run_scenario(edge::Method::kOurs, 1);
+  for (const std::size_t t : kThreadCounts) {
+    expect_identical(run_scenario(edge::Method::kOurs, t), ref, t);
+  }
+}
+
+TEST(Determinism, SystemRunnerEmpIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  // EMP uploads blobs, exercising the server-side parallel ground strip and
+  // the collected-cluster segmentation.
+  const edge::MethodMetrics ref = run_scenario(edge::Method::kEmp, 1);
+  for (const std::size_t t : kThreadCounts) {
+    expect_identical(run_scenario(edge::Method::kEmp, t), ref, t);
+  }
+}
+
+}  // namespace
+}  // namespace erpd

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace erpd::core {
+namespace {
+
+/// Restores the auto pool size when a test exits.
+struct PoolGuard {
+  ~PoolGuard() { set_thread_count(0); }
+};
+
+TEST(ThreadPool, ChunkCountBoundaries) {
+  EXPECT_EQ(chunk_count(0, 8), 0u);
+  EXPECT_EQ(chunk_count(1, 8), 1u);
+  EXPECT_EQ(chunk_count(8, 8), 1u);
+  EXPECT_EQ(chunk_count(9, 8), 2u);
+  EXPECT_EQ(chunk_count(16, 8), 2u);
+  EXPECT_EQ(chunk_count(17, 8), 3u);
+  EXPECT_EQ(chunk_count(5, 0), 5u);  // grain 0 treated as 1
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  PoolGuard guard;
+  for (const std::size_t threads : {1, 2, 8}) {
+    set_thread_count(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(hits.size(), 7, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkedReductionIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  // Float summation order matters; per-chunk sums merged in chunk order must
+  // give the same bits for every worker count.
+  std::vector<double> data(10'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto reduce = [&] {
+    const std::size_t n_chunks = chunk_count(data.size(), 64);
+    std::vector<double> partial(n_chunks, 0.0);
+    parallel_chunks(data.size(), 64,
+                    [&](std::size_t b, std::size_t e, std::size_t c) {
+                      for (std::size_t i = b; i < e; ++i) partial[c] += data[i];
+                    });
+    double sum = 0.0;
+    for (const double p : partial) sum += p;
+    return sum;
+  };
+  set_thread_count(1);
+  const double ref = reduce();
+  for (const std::size_t threads : {2, 3, 8}) {
+    set_thread_count(threads);
+    EXPECT_EQ(reduce(), ref) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  PoolGuard guard;
+  set_thread_count(4);
+  EXPECT_THROW(
+      parallel_for(100, 1,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Pool must still be usable after an exception.
+  std::atomic<int> n{0};
+  parallel_for(10, 1, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelRegionsRunSerially) {
+  PoolGuard guard;
+  set_thread_count(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(8, 1, [&](std::size_t outer) {
+    // Inner loop must not deadlock on the shared pool; it degrades to the
+    // serial path inside a worker.
+    parallel_for(8, 1, [&](std::size_t inner) { ++hits[outer * 8 + inner]; });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, ThreadCountReflectsSetter) {
+  PoolGuard guard;
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(1);
+  EXPECT_EQ(thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace erpd::core
