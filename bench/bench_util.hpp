@@ -75,6 +75,40 @@ inline std::vector<edge::MethodMetrics> run_seeds(
   return out;
 }
 
+/// Degraded-cellular profile for the fault sections of Figs. 12/14: ~30%
+/// uplink Bernoulli loss, 10% downlink loss, exponential jitter against a
+/// 50 ms delivery deadline, with the edge's staleness decay and track
+/// coasting enabled so the pipeline rides through the gaps.
+inline void degrade_network(edge::RunnerConfig& rc, std::uint64_t seed) {
+  rc.fault.seed = seed;
+  rc.fault.uplink_loss = 0.30;
+  rc.fault.downlink_loss = 0.10;
+  rc.fault.jitter_mean = 0.004;
+  rc.fault.downlink_deadline = 0.050;
+  rc.edge.staleness_decay = 0.15;
+  rc.edge.tracker.max_coast_frames = 6;
+}
+
+/// run_seeds with the degraded-network profile applied (fault schedule is
+/// derived from each scenario seed, so reruns are reproducible).
+inline std::vector<edge::MethodMetrics> run_seeds_degraded(
+    const ScenarioFactory& factory, sim::ScenarioConfig cfg,
+    edge::Method method, const std::vector<std::uint64_t>& seeds,
+    double duration = 18.0,
+    const net::WirelessConfig& wireless = bench_wireless()) {
+  std::vector<edge::MethodMetrics> out;
+  for (std::uint64_t seed : seeds) {
+    cfg.seed = seed;
+    sim::Scenario sc = factory(cfg);
+    edge::RunnerConfig rc = edge::make_runner_config(method, wireless);
+    rc.duration = duration;
+    degrade_network(rc, seed);
+    edge::SystemRunner runner(rc);
+    out.push_back(runner.run(sc));
+  }
+  return out;
+}
+
 inline double avg(const std::vector<edge::MethodMetrics>& ms,
                   double (*get)(const edge::MethodMetrics&)) {
   std::vector<double> v;

@@ -35,6 +35,9 @@ EdgeServer::EdgeServer(const sim::RoadNetwork& net, EdgeConfig cfg)
                cfg_.min_relevance);
   ERPD_REQUIRE(cfg_.visibility_radius > 0.0 && cfg_.self_radius > 0.0,
                "EdgeServer: visibility/self radii must be > 0");
+  ERPD_REQUIRE(cfg_.staleness_decay >= 0.0 && cfg_.staleness_decay < 1.0,
+               "EdgeServer: staleness_decay must be in [0,1), got ",
+               cfg_.staleness_decay);
 }
 
 sim::AgentKind EdgeServer::classify_extent(const geom::Aabb& box) {
@@ -215,6 +218,7 @@ FrameOutput EdgeServer::process_frame(
   out.confirmed_tracks = confirmed.size();
   for (const track::Track* tr : confirmed) {
     if (tr->misses == 0 && tr->velocity().norm() > 1.0) ++out.moving_tracks;
+    if (tr->misses > 0) ++out.coasting_tracks;
   }
 
   const track::RepresentativeSet reps = rules_.select(confirmed);
@@ -313,9 +317,18 @@ FrameOutput EdgeServer::process_frame(
         const auto est =
             best_estimate(trj, vt->second, object_kind_length(tr->kind),
                           object_kind_length(sim::AgentKind::kCar));
-        if (!est || est->relevance < cfg_.min_relevance) continue;
-        relevance_of[tid][vid] = est->relevance;
-        candidates.push_back({tid, vid, est->relevance, tr->payload_bytes,
+        if (!est) continue;
+        // A coasting track's position is a prediction, not a measurement;
+        // decay its relevance per missed frame so stale hazards do not
+        // outrank freshly observed ones in the knapsack.
+        double rel = est->relevance;
+        if (tr->misses > 0 && cfg_.staleness_decay > 0.0) {
+          rel *= std::pow(1.0 - cfg_.staleness_decay, tr->misses);
+        }
+        if (rel < cfg_.min_relevance) continue;
+        if (tr->misses > 0) ++out.stale_candidates;
+        relevance_of[tid][vid] = rel;
+        candidates.push_back({tid, vid, rel, tr->payload_bytes,
                               tr->truth_id});
       }
     }

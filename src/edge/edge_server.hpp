@@ -45,6 +45,12 @@ struct EdgeConfig {
   bool follower_relevance{true};
   /// Candidates below this relevance are never disseminated.
   double min_relevance{1e-3};
+  /// Staleness penalty for relevance computed from coasting tracks: a track
+  /// last updated m frames ago scores relevance * (1 - staleness_decay)^m.
+  /// Coasted positions drift from the truth, so acting on them as if fresh
+  /// would mis-rank the dissemination knapsack under uplink loss. 0 (default)
+  /// disables the penalty (exact lossless-pipeline scoring).
+  double staleness_decay{0.0};
   /// Server-side object detection for blob uploads (EMP / Unlimited).
   pc::DbscanConfig detect_dbscan{1.2, 4};
   double detect_voxel{0.3};
@@ -74,6 +80,11 @@ struct FrameOutput {
   std::size_t moving_tracks{0};
   std::size_t predicted_tracks{0};
   std::size_t candidates{0};
+  /// Confirmed tracks carried this frame purely on Kalman prediction
+  /// (misses > 0) — the coasting path under uplink loss.
+  std::size_t coasting_tracks{0};
+  /// Accepted relevance candidates whose source track was stale.
+  std::size_t stale_candidates{0};
   ModuleTimings timings{};
 };
 

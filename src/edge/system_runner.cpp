@@ -108,6 +108,7 @@ std::vector<net::UploadFrame> apply_uplink_cap(
 
 SystemRunner::SystemRunner(RunnerConfig cfg) : cfg_(cfg) {
   cfg_.wireless.validate();
+  cfg_.fault.validate();
   ERPD_REQUIRE(cfg_.duration > 0.0,
                "SystemRunner: duration must be > 0, got ", cfg_.duration);
   ERPD_REQUIRE(cfg_.frames_per_pipeline >= 1,
@@ -145,6 +146,19 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   double sum_dropped = 0.0;
   int pipeline_frames = 0;
 
+  // Fault-injection bookkeeping. With an inactive FaultConfig the channel
+  // never drops, jitters or disconnects anything and every counter below
+  // stays zero, so the run is bit-identical to the lossless pipeline.
+  const net::LossyChannel channel(cfg_.fault);
+  const bool faults = channel.active();
+  std::size_t upload_frames_offered = 0;
+  std::size_t upload_frames_lost = 0;
+  std::size_t downlink_selected = 0;
+  std::size_t downlink_missed = 0;
+  // Tracks which clients were offline last pipeline frame, to reset their
+  // local pipeline state on reconnect.
+  std::map<sim::AgentId, bool> offline_prev;
+
   const int steps =
       static_cast<int>(std::llround(cfg_.duration / world.config().dt));
   const bool capped = cfg_.method == Method::kEmp || cfg_.method == Method::kOurs;
@@ -156,9 +170,19 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       std::vector<net::UploadFrame> uploads;
       std::vector<geom::Vec2> sites;
       std::vector<sim::AgentId> site_ids;
-      for (const auto& [vid, client] : clients) {
+      for (auto& [vid, client] : clients) {
         const sim::Vehicle* v = world.find_vehicle(vid);
         if (v == nullptr || v->finished(net) || v->crashed()) continue;
+        if (faults) {
+          // Disconnected vehicles neither sense-for-upload nor count as
+          // Voronoi sites; on reconnect the local pipeline restarts because
+          // its frame-differencing baseline is stale.
+          const bool off = channel.vehicle_offline(vid, world.time());
+          bool& was_off = offline_prev[vid];
+          if (was_off && !off) client.reset_pipeline();
+          was_off = off;
+          if (off) continue;
+        }
         sites.push_back(v->position(net));
         site_ids.push_back(vid);
       }
@@ -187,9 +211,26 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
         raw_points += s.raw_points;
       }
 
-      // --- Uplink cap ---
+      // --- Uplink channel faults ---
       std::size_t offered_bytes = 0;
       for (const net::UploadFrame& f : uploads) offered_bytes += f.total_bytes();
+      upload_frames_offered += uploads.size();
+      if (faults) {
+        // Per-message Bernoulli loss + burst outages: a lost upload frame
+        // never reaches the edge (and never consumes cap budget).
+        std::vector<net::UploadFrame> kept;
+        kept.reserve(uploads.size());
+        for (net::UploadFrame& f : uploads) {
+          if (channel.uplink_lost(f.vehicle, frame, world.time())) {
+            ++upload_frames_lost;
+          } else {
+            kept.push_back(std::move(f));
+          }
+        }
+        uploads = std::move(kept);
+      }
+
+      // --- Uplink cap ---
       std::vector<net::UploadFrame> delivered =
           capped ? apply_uplink_cap(std::move(uploads),
                                     cfg_.wireless.uplink_budget_bytes(),
@@ -207,8 +248,35 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       const FrameOutput fo =
           server.process_frame(delivered, world.time(), &truth);
 
+      if (cfg_.on_decisions) cfg_.on_decisions(frame, fo.selected);
+
       // --- Deliver disseminations back to drivers ---
+      // Each selected message independently survives the lossy downlink and
+      // must land within the configured deadline; lost or late messages are
+      // never applied to driver knowledge and count as misses.
+      downlink_selected += fo.selected.size();
+      double max_down_jitter = 0.0;
       for (const net::Dissemination& d : fo.selected) {
+        bool miss = false;
+        if (faults) {
+          if (channel.downlink_lost(d.to, d.track_id, frame, world.time())) {
+            miss = true;
+          } else {
+            const double jit = channel.downlink_jitter(d.to, d.track_id, frame);
+            max_down_jitter = std::max(max_down_jitter, jit);
+            if (cfg_.fault.downlink_deadline > 0.0) {
+              const double delay =
+                  net::transfer_delay(d.bytes, cfg_.wireless.downlink_mbps,
+                                      cfg_.wireless.base_latency) +
+                  jit;
+              miss = delay > cfg_.fault.downlink_deadline;
+            }
+          }
+        }
+        if (miss) {
+          ++downlink_missed;
+          continue;
+        }
         if (d.about != sim::kInvalidAgent) {
           world.notify_vehicle(d.to, d.about);
         }
@@ -216,14 +284,18 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       }
       m.disseminations += static_cast<int>(fo.selected.size());
       down_meter.add(fo.downlink_bytes);
+      m.coasted_track_frames += static_cast<int>(fo.coasting_tracks);
+      m.stale_relevance_frames += static_cast<int>(fo.stale_candidates);
 
       // --- Latency accounting ---
-      const double t_upload = net::transfer_delay(
-          delivered_bytes, cfg_.wireless.uplink_mbps,
-          cfg_.wireless.base_latency);
+      const double t_upload =
+          net::transfer_delay(delivered_bytes, cfg_.wireless.uplink_mbps,
+                              cfg_.wireless.base_latency) +
+          (faults ? channel.uplink_jitter(frame) : 0.0);
+      // The frame's dissemination completes when its slowest message lands.
       const double t_down = net::transfer_delay(
           fo.downlink_bytes, cfg_.wireless.downlink_mbps,
-          cfg_.wireless.base_latency);
+          cfg_.wireless.base_latency) + max_down_jitter;
       sum_extract += max_extract;
       sum_upload += t_upload;
       sum_merge += fo.timings.merge_seconds;
@@ -312,6 +384,14 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
     m.track_predict_seconds = sum_track / n;
     m.dissemination_decision_seconds = sum_diss / n;
     m.downlink_transfer_seconds = sum_downlink / n;
+  }
+  if (upload_frames_offered > 0) {
+    m.uplink_loss_ratio = static_cast<double>(upload_frames_lost) /
+                          static_cast<double>(upload_frames_offered);
+  }
+  if (downlink_selected > 0) {
+    m.downlink_deadline_miss_ratio = static_cast<double>(downlink_missed) /
+                                     static_cast<double>(downlink_selected);
   }
   return m;
 }

@@ -21,6 +21,7 @@
 #include "edge/edge_server.hpp"
 #include "edge/vehicle_client.hpp"
 #include "net/channel.hpp"
+#include "net/fault.hpp"
 #include "sim/scenario.hpp"
 
 namespace erpd::edge {
@@ -60,6 +61,13 @@ struct RunnerConfig {
   /// Optional per-frame stage observer (used by the perf harness). Called
   /// from run() on the caller's thread, once per pipeline frame.
   std::function<void(const FrameTrace&)> on_frame;
+  /// Deterministic channel fault injection. Default-constructed config is
+  /// inactive: the run is bit-identical to the lossless pipeline.
+  net::FaultConfig fault{};
+  /// Optional observer of the edge's per-frame dissemination decisions (as
+  /// selected, before channel faults). Used by the golden-scenario harness.
+  std::function<void(int frame, const std::vector<net::Dissemination>&)>
+      on_decisions;
 };
 
 struct MethodMetrics {
@@ -106,6 +114,18 @@ struct MethodMetrics {
   // Dissemination accounting.
   double delivered_relevance{0.0};
   int disseminations{0};
+  // Fault injection / graceful degradation (all zero when
+  // RunnerConfig::fault is inactive and no track ever coasts).
+  /// Fraction of offered upload frames lost to channel faults, in [0, 1].
+  double uplink_loss_ratio{0.0};
+  /// Fraction of selected disseminations lost on the wire or delivered past
+  /// FaultConfig::downlink_deadline, in [0, 1].
+  double downlink_deadline_miss_ratio{0.0};
+  /// Total confirmed-track frames carried purely on Kalman prediction
+  /// (summed over pipeline frames).
+  int coasted_track_frames{0};
+  /// Total accepted relevance candidates computed from stale tracks.
+  int stale_relevance_frames{0};
 };
 
 class SystemRunner {

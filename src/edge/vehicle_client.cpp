@@ -12,6 +12,8 @@ using Clock = std::chrono::steady_clock;
 VehicleClient::VehicleClient(sim::AgentId vehicle, ClientConfig cfg)
     : vehicle_(vehicle), cfg_(cfg), extractor_(cfg.extractor) {}
 
+void VehicleClient::reset_pipeline() { extractor_.reset(); }
+
 sim::AgentId VehicleClient::match_truth(
     const std::vector<sim::AgentSnapshot>& truth, geom::Vec2 centroid,
     double radius, sim::AgentId self) {

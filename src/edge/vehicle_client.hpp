@@ -67,6 +67,12 @@ class VehicleClient {
                                const std::vector<sim::AgentSnapshot>* truth =
                                    nullptr);
 
+  /// Drop all temporal pipeline state (frame-differencing baselines). Called
+  /// by the harness when the vehicle reconnects after a radio blackout: the
+  /// last processed frame may be arbitrarily old, so motion estimates
+  /// derived from it would be garbage.
+  void reset_pipeline();
+
  private:
   sim::AgentId vehicle_;
   ClientConfig cfg_;

@@ -1,0 +1,67 @@
+#include "net/fault.hpp"
+
+namespace erpd::net {
+
+double LossyChannel::uniform(std::uint64_t stream, std::uint64_t a,
+                             std::uint64_t b) const {
+  core::SplitMix64 gen(core::seed_mix(cfg_.seed, stream, a, b));
+  // 53 uniform mantissa bits -> [0, 1).
+  return std::ldexp(static_cast<double>(gen() >> 11), -53);
+}
+
+bool LossyChannel::vehicle_offline(sim::AgentId vehicle, double t) const {
+  for (const Disconnect& d : cfg_.disconnects) {
+    if (d.vehicle == vehicle && t >= d.start && t < d.start + d.duration) {
+      return true;
+    }
+  }
+  if (cfg_.random_disconnect_rate > 0.0) {
+    const auto epoch =
+        static_cast<std::uint64_t>(std::floor(t / cfg_.disconnect_epoch));
+    return uniform(kRandomDisconnect, static_cast<std::uint64_t>(vehicle),
+                   epoch) < cfg_.random_disconnect_rate;
+  }
+  return false;
+}
+
+bool LossyChannel::uplink_lost(sim::AgentId vehicle, int frame,
+                               double t) const {
+  if (in_outage(t)) return true;
+  if (cfg_.uplink_loss <= 0.0) return false;
+  return uniform(kUplinkDrop, static_cast<std::uint64_t>(vehicle),
+                 static_cast<std::uint64_t>(frame)) < cfg_.uplink_loss;
+}
+
+bool LossyChannel::downlink_lost(sim::AgentId to, int track_id, int frame,
+                                 double t) const {
+  if (in_outage(t)) return true;
+  if (vehicle_offline(to, t)) return true;
+  if (cfg_.downlink_loss <= 0.0) return false;
+  // Mix recipient and track into one counter so two disseminations in the
+  // same frame draw independent fates.
+  const std::uint64_t msg =
+      core::seed_mix(static_cast<std::uint64_t>(to),
+                     static_cast<std::uint64_t>(track_id));
+  return uniform(kDownlinkDrop, msg, static_cast<std::uint64_t>(frame)) <
+         cfg_.downlink_loss;
+}
+
+double LossyChannel::uplink_jitter(int frame) const {
+  if (cfg_.jitter_mean <= 0.0) return 0.0;
+  const double u = uniform(kUplinkJitter, static_cast<std::uint64_t>(frame), 0);
+  // Inverse-CDF exponential; u < 1 so log1p(-u) is finite.
+  return -cfg_.jitter_mean * std::log1p(-u);
+}
+
+double LossyChannel::downlink_jitter(sim::AgentId to, int track_id,
+                                     int frame) const {
+  if (cfg_.jitter_mean <= 0.0) return 0.0;
+  const std::uint64_t msg =
+      core::seed_mix(static_cast<std::uint64_t>(to),
+                     static_cast<std::uint64_t>(track_id));
+  const double u =
+      uniform(kDownlinkJitter, msg, static_cast<std::uint64_t>(frame));
+  return -cfg_.jitter_mean * std::log1p(-u);
+}
+
+}  // namespace erpd::net

@@ -88,8 +88,12 @@ void MultiObjectTracker::step(const std::vector<Detection>& detections,
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     if (!trk_used[i]) ++tracks_[i].misses;
   }
+  // Confirmed tracks may coast on prediction for max_coast_frames extra
+  // frames before aging out (tentative tracks get no such grace).
   std::erase_if(tracks_, [this](const Track& tr) {
-    return tr.misses > cfg_.max_misses;
+    const int limit =
+        cfg_.max_misses + (tr.confirmed(cfg_) ? cfg_.max_coast_frames : 0);
+    return tr.misses > limit;
   });
 
   // Unmatched detections start new tracks.

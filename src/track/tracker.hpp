@@ -41,6 +41,13 @@ struct TrackerConfig {
   int confirm_hits{2};
   /// Missed frames before a track is dropped.
   int max_misses{4};
+  /// Extra missed frames a *confirmed* track survives beyond max_misses,
+  /// coasting on its Kalman constant-velocity prediction. This is the
+  /// graceful-degradation knob for lossy uplinks: when a vehicle's upload is
+  /// dropped, the object it was reporting keeps a (staler) track instead of
+  /// vanishing from the traffic map. 0 (default) preserves the exact
+  /// lossless-pipeline lifetime rule.
+  int max_coast_frames{0};
   KalmanCV::Config kalman{};
   /// Measurement sigma assumed for velocity observations (m/s).
   double vel_meas_sigma{1.0};
@@ -68,6 +75,11 @@ struct Track {
 
   bool confirmed(const TrackerConfig& cfg) const {
     return hits >= cfg.confirm_hits;
+  }
+  /// A confirmed track carried purely on prediction this frame (no matched
+  /// detection since at least one frame).
+  bool coasting(const TrackerConfig& cfg) const {
+    return confirmed(cfg) && misses > 0;
   }
   geom::Vec2 position() const { return filter.position(); }
   geom::Vec2 velocity() const { return filter.velocity(); }

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
 #include "core/check.hpp"
+#include "core/rng.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
 
@@ -79,6 +84,58 @@ TEST(FrameBudget, ExhaustedBudgetStaysConsistent) {
   EXPECT_EQ(b.used(), 64u);  // failed grant must not mutate state
 }
 
+// Property: across randomized grant sequences the budget never over-grants
+// and the used/remaining split always reconciles with the capacity.
+TEST(FrameBudget, RandomizedGrantsPreserveInvariants) {
+  core::SplitMix64 rng(core::seed_mix(0xb4d6e7, 1));
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t cap = rng() % 5000;
+    FrameBudget b(cap);
+    std::size_t granted = 0;
+    for (int op = 0; op < 64; ++op) {
+      const std::size_t req = rng() % 2000;
+      if (rng() % 2 == 0) {
+        if (b.try_grant(req)) granted += req;
+      } else {
+        granted += b.grant_partial(req);
+      }
+      ASSERT_LE(b.used(), b.capacity());
+      ASSERT_EQ(b.used(), granted);
+      ASSERT_EQ(b.remaining() + b.used(), b.capacity());
+    }
+    b.reset();
+    ASSERT_EQ(b.remaining(), cap);
+    ASSERT_EQ(b.used(), 0u);
+  }
+}
+
+// Property: with equal-size requests, FCFS admission is order-independent —
+// any permutation grants the same total (floor(cap / size) requests fit).
+TEST(FrameBudget, EqualSizedRequestsGrantOrderIndependentTotal) {
+  core::SplitMix64 rng(core::seed_mix(0xb4d6e7, 2));
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t size = 1 + rng() % 500;
+    const std::size_t n = 1 + rng() % 40;
+    const std::size_t cap = rng() % (size * n + 1);
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    const std::size_t expect = std::min(cap / size, n) * size;
+    for (int perm = 0; perm < 4; ++perm) {
+      // Deterministic Fisher-Yates driven by the counter-based stream.
+      for (std::size_t i = n - 1; i > 0; --i) {
+        std::swap(order[i], order[rng() % (i + 1)]);
+      }
+      FrameBudget b(cap);
+      std::size_t granted = 0;
+      for (std::size_t idx : order) {
+        (void)idx;
+        if (b.try_grant(size)) granted += size;
+      }
+      ASSERT_EQ(granted, expect) << "cap=" << cap << " size=" << size;
+    }
+  }
+}
+
 TEST(TransferDelay, LinearInBytes) {
   // 1 MB over 8 Mbps = 1 s plus base latency.
   EXPECT_NEAR(transfer_delay(1000000, 8.0, 0.01), 1.01, 1e-9);
@@ -110,6 +167,25 @@ TEST(UploadFrame, TotalBytesIncludesOverhead) {
   f.objects.push_back(o);
   f.objects.push_back(o);
   EXPECT_EQ(f.total_bytes(), UploadFrame::kFrameOverhead + 1000u);
+}
+
+TEST(UploadFrame, BilledBytesMatchEncodedPayloadSize) {
+  // Clients bill each object as encoded_size_bytes(point_count); the frame
+  // total the uplink cap charges must equal the bytes the codec would
+  // actually put on the wire, header included.
+  UploadFrame f;
+  std::size_t wire = UploadFrame::kFrameOverhead;
+  for (std::size_t n : {3u, 40u, 250u}) {
+    ObjectUpload o;
+    for (std::size_t i = 0; i < n; ++i) {
+      o.cloud_world.push_back({0.01 * static_cast<double>(i), 1.0, 0.5});
+    }
+    o.point_count = o.cloud_world.size();
+    o.bytes = pc::encoded_size_bytes(o.point_count);
+    wire += pc::encode(o.cloud_world).size_bytes();
+    f.objects.push_back(std::move(o));
+  }
+  EXPECT_EQ(f.total_bytes(), wire);
 }
 
 }  // namespace

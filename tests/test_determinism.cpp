@@ -14,6 +14,7 @@
 #include "pointcloud/dbscan.hpp"
 #include "pointcloud/encoding.hpp"
 #include "pointcloud/voxel_grid.hpp"
+#include "scenario_harness.hpp"
 #include "sim/lidar.hpp"
 
 namespace erpd {
@@ -155,6 +156,11 @@ void expect_identical(const edge::MethodMetrics& a,
   EXPECT_EQ(a.collisions, b.collisions) << threads;
   EXPECT_EQ(a.min_key_distance, b.min_key_distance) << threads;
   EXPECT_EQ(a.vehicles_entered, b.vehicles_entered) << threads;
+  EXPECT_EQ(a.uplink_loss_ratio, b.uplink_loss_ratio) << threads;
+  EXPECT_EQ(a.downlink_deadline_miss_ratio, b.downlink_deadline_miss_ratio)
+      << threads;
+  EXPECT_EQ(a.coasted_track_frames, b.coasted_track_frames) << threads;
+  EXPECT_EQ(a.stale_relevance_frames, b.stale_relevance_frames) << threads;
 }
 
 TEST(Determinism, SystemRunnerOursIdenticalAcrossThreadCounts) {
@@ -172,6 +178,57 @@ TEST(Determinism, SystemRunnerEmpIdenticalAcrossThreadCounts) {
   const edge::MethodMetrics ref = run_scenario(edge::Method::kEmp, 1);
   for (const std::size_t t : kThreadCounts) {
     expect_identical(run_scenario(edge::Method::kEmp, t), ref, t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: an all-zero FaultConfig must be a provable no-op, and an
+// active fault schedule must replay bit-identically for any worker count
+// (every drop/jitter decision is a pure function of seed + entity + frame,
+// never of scheduling).
+// ---------------------------------------------------------------------------
+
+edge::MethodMetrics run_fault_case(const harness::FaultCase& fc,
+                                   std::size_t threads) {
+  core::set_thread_count(threads);
+  // Short run keeps the 3-thread-count sweep affordable under TSan.
+  return harness::run_case(edge::Method::kOurs, fc, /*duration=*/4.0).metrics;
+}
+
+TEST(Determinism, ZeroFaultConfigIsANoOp) {
+  PoolGuard guard;
+  core::set_thread_count(1);
+  // Bypassing the fault layer entirely and routing through an inactive
+  // LossyChannel must fingerprint identically: the zero config may not
+  // perturb a single simulated quantity.
+  sim::Scenario a = sim::make_unprotected_left_turn(
+      harness::default_intersection(42));
+  edge::RunnerConfig rc =
+      edge::make_runner_config(edge::Method::kOurs, net::WirelessConfig{});
+  rc.duration = 4.0;
+  edge::SystemRunner plain(rc);
+  const std::uint64_t ref = harness::metrics_fingerprint(plain.run(a));
+
+  sim::Scenario b = sim::make_unprotected_left_turn(
+      harness::default_intersection(42));
+  edge::RunnerConfig rf = rc;
+  rf.fault = net::FaultConfig{};  // explicit all-zero config
+  ASSERT_FALSE(rf.fault.active());
+  edge::SystemRunner gated(rf);
+  EXPECT_EQ(harness::metrics_fingerprint(gated.run(b)), ref);
+}
+
+TEST(Determinism, FaultMatrixIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  for (const harness::FaultCase& fc : harness::default_fault_matrix()) {
+    const edge::MethodMetrics ref = run_fault_case(fc, 1);
+    const std::uint64_t ref_fp = harness::metrics_fingerprint(ref);
+    for (const std::size_t t : kThreadCounts) {
+      const edge::MethodMetrics got = run_fault_case(fc, t);
+      expect_identical(got, ref, t);
+      EXPECT_EQ(harness::metrics_fingerprint(got), ref_fp)
+          << fc.name << " @ " << t << " threads";
+    }
   }
 }
 

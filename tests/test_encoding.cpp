@@ -51,6 +51,25 @@ TEST(Encoding, SixBytesPerPointPlusHeader) {
   EXPECT_EQ(encoded_size_bytes(100) - h, 600u);
 }
 
+TEST(Encoding, ExportedConstantsMatchTheActualWireFormat) {
+  // Schedulers bill uploads as kEncodedHeaderBytes + n * kBytesPerPoint via
+  // encoded_size_bytes(); if the codec's real output ever drifts from the
+  // exported constants, billed bytes and wire bytes diverge silently.
+  EXPECT_EQ(encoded_size_bytes(0), kEncodedHeaderBytes);
+  std::mt19937_64 rng(9);
+  for (int n : {1, 7, 128, 3000}) {
+    const PointCloud c = random_cloud(n, 20.0, rng);
+    const EncodedCloud e = encode(c);
+    const std::size_t billed = encoded_size_bytes(c.size());
+    EXPECT_EQ(e.size_bytes(), billed) << n << " points";
+    EXPECT_EQ(billed,
+              kEncodedHeaderBytes + static_cast<std::size_t>(n) * kBytesPerPoint)
+        << n << " points";
+    // And the billed buffer still decodes to the same number of points.
+    EXPECT_EQ(decode(e).size(), c.size()) << n << " points";
+  }
+}
+
 TEST(Encoding, CompressionBeatsRawFormat) {
   // The wire format must be meaningfully smaller than the 16 B/point raw
   // sensor format for realistic per-object clouds.

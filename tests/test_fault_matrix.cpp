@@ -1,0 +1,115 @@
+// Scenario regression suite over the fault matrix (ctest label: fault).
+//
+// Each committed fault case (no faults / 10% / 30% loss / ego blackout /
+// burst outage / jitter) runs the closed loop end to end and must
+//   (a) complete without ContractViolation,
+//   (b) keep the recorded safety metrics inside its committed tolerance
+//       band, and
+//   (c) actually exercise the degradation machinery (the new MethodMetrics
+//       fields are live, not decorative).
+// When ERPD_SCENARIO_JSON is set, the per-case metrics are written there as
+// a JSON artifact for CI.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "scenario_harness.hpp"
+
+namespace erpd {
+namespace {
+
+class FaultMatrix : public ::testing::Test {
+ protected:
+  // The matrix is expensive; run it once and share across assertions.
+  static void SetUpTestSuite() {
+    results_ = new std::vector<harness::CaseResult>();
+    for (const harness::FaultCase& fc : harness::default_fault_matrix()) {
+      results_->push_back(harness::run_case(edge::Method::kOurs, fc));
+    }
+  }
+  static void TearDownTestSuite() {
+    if (const char* path = std::getenv("ERPD_SCENARIO_JSON")) {
+      harness::write_file(path, harness::metrics_json(*results_));
+    }
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static const harness::CaseResult& find(const std::string& name) {
+    for (const harness::CaseResult& r : *results_) {
+      if (r.fcase.name == name) return r;
+    }
+    ADD_FAILURE() << "no fault case named " << name;
+    static harness::CaseResult dummy;
+    return dummy;
+  }
+
+  static std::vector<harness::CaseResult>* results_;
+};
+
+std::vector<harness::CaseResult>* FaultMatrix::results_ = nullptr;
+
+TEST_F(FaultMatrix, AllCasesStayInsideToleranceBands) {
+  for (const harness::CaseResult& r : *results_) {
+    const edge::MethodMetrics& m = r.metrics;
+    const harness::ToleranceBand& band = r.fcase.band;
+    EXPECT_GE(m.conflict_safe_rate, band.min_conflict_safe_rate)
+        << r.fcase.name;
+    EXPECT_GE(m.safe_passage_rate, band.min_safe_passage_rate)
+        << r.fcase.name;
+    EXPECT_GE(m.min_key_distance, band.min_key_distance) << r.fcase.name;
+    EXPECT_TRUE(m.ego_safe) << r.fcase.name;
+  }
+}
+
+TEST_F(FaultMatrix, NoFaultCaseReportsZeroFaultMetrics) {
+  const edge::MethodMetrics& m = find("no-faults").metrics;
+  EXPECT_EQ(m.uplink_loss_ratio, 0.0);
+  EXPECT_EQ(m.downlink_deadline_miss_ratio, 0.0);
+  EXPECT_GT(m.disseminations, 0);
+}
+
+TEST_F(FaultMatrix, LossCasesExerciseDegradation) {
+  for (const char* name : {"loss-10", "loss-30"}) {
+    const edge::MethodMetrics& m = find(name).metrics;
+    EXPECT_GT(m.uplink_loss_ratio, 0.0) << name;
+    EXPECT_GT(m.coasted_track_frames, 0) << name;
+    EXPECT_GT(m.stale_relevance_frames, 0) << name;
+  }
+  // 30% nominal Bernoulli loss must land near 30% measured.
+  const edge::MethodMetrics& m30 = find("loss-30").metrics;
+  EXPECT_NEAR(m30.uplink_loss_ratio, 0.30, 0.10);
+  EXPECT_GT(m30.downlink_deadline_miss_ratio, 0.0);
+}
+
+TEST_F(FaultMatrix, LossStillBeatsNoSharing) {
+  // Even at 30% uplink loss the closed loop must warn the ego; without
+  // sharing the scripted conflict always ends in a collision.
+  harness::FaultCase single = harness::default_fault_matrix()[2];
+  const harness::CaseResult single_run =
+      harness::run_case(edge::Method::kSingle, single);
+  const edge::MethodMetrics& ours30 = find("loss-30").metrics;
+  EXPECT_FALSE(single_run.metrics.ego_safe);
+  EXPECT_TRUE(ours30.ego_safe);
+  EXPECT_GT(ours30.min_key_distance, single_run.metrics.min_key_distance);
+}
+
+TEST_F(FaultMatrix, BlackoutDropsUploadsDuringWindow) {
+  const harness::CaseResult& r = find("ego-blackout");
+  // The ego stops uploading for 3 s out of 14 s, so offered upload frames
+  // shrink relative to the no-fault case.
+  const edge::MethodMetrics& clean = find("no-faults").metrics;
+  EXPECT_LT(r.metrics.uplink_offered_bytes_per_frame,
+            clean.uplink_offered_bytes_per_frame);
+  EXPECT_TRUE(r.metrics.ego_safe);
+}
+
+TEST_F(FaultMatrix, JitterProducesDeadlineMisses) {
+  const edge::MethodMetrics& m = find("jitter").metrics;
+  EXPECT_GT(m.downlink_deadline_miss_ratio, 0.0);
+  EXPECT_LT(m.downlink_deadline_miss_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace erpd
