@@ -3,15 +3,82 @@
 // over seeds, aggregation, and paper-style table printing.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "edge/metrics_io.hpp"
 #include "edge/system_runner.hpp"
+#include "obs/json.hpp"
 #include "sim/scenario.hpp"
 
 namespace erpd::bench {
+
+/// Collects one row per (sweep point, seed) run and serializes them through
+/// the obs exporter: every row carries the RunManifest for the exact
+/// RunnerConfig it was produced with plus the full MethodMetrics field set.
+/// Figure benches use this for their --out=FILE mode.
+class BenchExport {
+ public:
+  explicit BenchExport(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& sweep, const edge::RunnerConfig& rc,
+           std::uint64_t seed, const edge::MethodMetrics& m) {
+    rows_.push_back(Row{sweep, edge::make_manifest(rc, sweep, seed), m});
+  }
+
+  std::string json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("bench", bench_);
+    w.key("runs").begin_array();
+    for (const Row& r : rows_) {
+      w.begin_object();
+      w.kv("sweep", r.sweep);
+      obs::append_manifest(w, r.manifest);
+      w.key("metrics").begin_object();
+      edge::append_method_metrics(w, r.metrics);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str() + "\n";
+  }
+
+  /// Write the document when `path` is non-empty; empty path is a no-op.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    return obs::write_file(path, json());
+  }
+
+ private:
+  struct Row {
+    std::string sweep;
+    obs::RunManifest manifest;
+    edge::MethodMetrics metrics;
+  };
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+/// Parse the shared bench CLI: `--out=FILE` selects the JSON export path
+/// (empty = stdout tables only). Unknown flags abort with a usage line.
+inline std::string parse_out(int argc, char** argv) {
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=FILE]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return out;
+}
 
 using ScenarioFactory =
     std::function<sim::Scenario(const sim::ScenarioConfig&)>;
@@ -57,12 +124,14 @@ inline double mean_of(const std::vector<double>& v) {
 }
 
 /// Run one (factory, method) combination for each seed and return the
-/// per-seed metrics.
+/// per-seed metrics. When `ex` is set, each run is recorded as an export row
+/// labeled `sweep`.
 inline std::vector<edge::MethodMetrics> run_seeds(
     const ScenarioFactory& factory, sim::ScenarioConfig cfg,
     edge::Method method, const std::vector<std::uint64_t>& seeds,
     double duration = 18.0,
-    const net::WirelessConfig& wireless = bench_wireless()) {
+    const net::WirelessConfig& wireless = bench_wireless(),
+    BenchExport* ex = nullptr, const std::string& sweep = {}) {
   std::vector<edge::MethodMetrics> out;
   for (std::uint64_t seed : seeds) {
     cfg.seed = seed;
@@ -71,6 +140,7 @@ inline std::vector<edge::MethodMetrics> run_seeds(
     rc.duration = duration;
     edge::SystemRunner runner(rc);
     out.push_back(runner.run(sc));
+    if (ex != nullptr) ex->add(sweep, rc, seed, out.back());
   }
   return out;
 }
@@ -95,7 +165,8 @@ inline std::vector<edge::MethodMetrics> run_seeds_degraded(
     const ScenarioFactory& factory, sim::ScenarioConfig cfg,
     edge::Method method, const std::vector<std::uint64_t>& seeds,
     double duration = 18.0,
-    const net::WirelessConfig& wireless = bench_wireless()) {
+    const net::WirelessConfig& wireless = bench_wireless(),
+    BenchExport* ex = nullptr, const std::string& sweep = {}) {
   std::vector<edge::MethodMetrics> out;
   for (std::uint64_t seed : seeds) {
     cfg.seed = seed;
@@ -105,6 +176,7 @@ inline std::vector<edge::MethodMetrics> run_seeds_degraded(
     degrade_network(rc, seed);
     edge::SystemRunner runner(rc);
     out.push_back(runner.run(sc));
+    if (ex != nullptr) ex->add(sweep, rc, seed, out.back());
   }
   return out;
 }

@@ -16,7 +16,9 @@ const std::vector<std::uint64_t> kSeeds = {1, 2};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path = bench::parse_out(argc, argv);
+  bench::BenchExport ex("fig12_upload");
   bench::print_header(
       "Fig. 12 - data uploading",
       "dense sensor (32 ch x 0.5 deg); uplink cap 16 Mbit/s (scaled, see "
@@ -36,12 +38,20 @@ int main() {
     cfg.connected_fraction = conn;
     bench::dense_lidar(cfg);
 
-    const auto o = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
-                                    edge::Method::kOurs, kSeeds, 10.0);
-    const auto e = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
-                                    edge::Method::kEmp, kSeeds, 10.0);
-    const auto u = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
-                                    edge::Method::kUnlimited, kSeeds, 10.0);
+    char sweep[32];
+    std::snprintf(sweep, sizeof(sweep), "conn-%02.0f", conn * 100.0);
+    const auto o =
+        bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                         edge::Method::kOurs, kSeeds, 10.0,
+                         bench::bench_wireless(), &ex, sweep);
+    const auto e =
+        bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                         edge::Method::kEmp, kSeeds, 10.0,
+                         bench::bench_wireless(), &ex, sweep);
+    const auto u =
+        bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                         edge::Method::kUnlimited, kSeeds, 10.0,
+                         bench::bench_wireless(), &ex, sweep);
 
     const auto up = [](const edge::MethodMetrics& m) { return m.uplink_mbps; };
     const auto obj = [](const edge::MethodMetrics& m) {
@@ -76,9 +86,11 @@ int main() {
     cfg.pedestrians = 6;
     cfg.connected_fraction = conn;
     bench::dense_lidar(cfg);
-    const auto d = bench::run_seeds_degraded(sim::make_unprotected_left_turn,
-                                             cfg, edge::Method::kOurs, kSeeds,
-                                             10.0);
+    char sweep[40];
+    std::snprintf(sweep, sizeof(sweep), "degraded-conn-%02.0f", conn * 100.0);
+    const auto d = bench::run_seeds_degraded(
+        sim::make_unprotected_left_turn, cfg, edge::Method::kOurs, kSeeds,
+        10.0, bench::bench_wireless(), &ex, sweep);
     const auto loss = [](const edge::MethodMetrics& m) {
       return m.uplink_loss_ratio;
     };
@@ -107,5 +119,10 @@ int main() {
       "matches Unlimited's object count. Column (c) separates demand from\n"
       "goodput: EMP offers more than the cap admits (high drop%%), while\n"
       "Ours' moving-object uploads fit with room to spare.\n");
+  if (!ex.write(out_path)) {
+    std::fprintf(stderr, "fig12_upload: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!out_path.empty()) std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -14,7 +14,9 @@ namespace {
 const std::vector<std::uint64_t> kSeeds = {1, 2};
 }
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path = bench::parse_out(argc, argv);
+  bench::BenchExport ex("fig14_latency");
   bench::print_header(
       "Fig. 14 - end-to-end latency",
       "dense sensor; wall-clock runtimes on this host (see DESIGN.md for\n"
@@ -30,8 +32,12 @@ int main() {
     cfg.pedestrians = 6;
     cfg.connected_fraction = conn;
     bench::dense_lidar(cfg);
-    const auto o = bench::run_seeds(sim::make_unprotected_left_turn, cfg,
-                                    edge::Method::kOurs, kSeeds, 8.0);
+    char sweep[32];
+    std::snprintf(sweep, sizeof(sweep), "conn-%02.0f", conn * 100.0);
+    const auto o =
+        bench::run_seeds(sim::make_unprotected_left_turn, cfg,
+                         edge::Method::kOurs, kSeeds, 8.0,
+                         bench::bench_wireless(), &ex, sweep);
     const auto e2e = [](const edge::MethodMetrics& m) { return m.e2e_latency; };
     std::printf("%8.0f | %10.2f\n", conn * 100.0, 1e3 * bench::avg(o, e2e));
     if (conn == 0.2) at20 = o.front();
@@ -65,9 +71,11 @@ int main() {
     cfg.pedestrians = 6;
     cfg.connected_fraction = conn;
     bench::dense_lidar(cfg);
-    const auto d = bench::run_seeds_degraded(sim::make_unprotected_left_turn,
-                                             cfg, edge::Method::kOurs, kSeeds,
-                                             8.0);
+    char sweep[40];
+    std::snprintf(sweep, sizeof(sweep), "degraded-conn-%02.0f", conn * 100.0);
+    const auto d = bench::run_seeds_degraded(
+        sim::make_unprotected_left_turn, cfg, edge::Method::kOurs, kSeeds,
+        8.0, bench::bench_wireless(), &ex, sweep);
     const auto e2e = [](const edge::MethodMetrics& m) { return m.e2e_latency; };
     const auto loss = [](const edge::MethodMetrics& m) {
       return m.uplink_loss_ratio;
@@ -85,5 +93,10 @@ int main() {
       "connected vehicles but stays within the 100 ms frame interval;\n"
       "extraction is the dominant term, map construction a few ms, and the\n"
       "greedy dissemination decision ~1 ms.\n");
+  if (!ex.write(out_path)) {
+    std::fprintf(stderr, "fig14_latency: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!out_path.empty()) std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

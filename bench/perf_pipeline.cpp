@@ -23,6 +23,7 @@
 
 #include "bench_util.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 using namespace erpd;
 
@@ -65,9 +66,11 @@ struct RunResult {
   StageStats track_relevance;
   StageStats dissemination;
   edge::MethodMetrics metrics;
+  obs::RunManifest manifest;
 };
 
-RunResult run_once(edge::Method method, std::uint64_t seed, double duration) {
+RunResult run_once(edge::Method method, std::uint64_t seed, double duration,
+                   obs::MetricsRegistry* registry = nullptr) {
   sim::ScenarioConfig cfg;
   cfg.seed = seed;
   cfg.speed_kmh = 30.0;
@@ -80,6 +83,7 @@ RunResult run_once(edge::Method method, std::uint64_t seed, double duration) {
   sim::Scenario sc = sim::make_unprotected_left_turn(cfg);
   edge::RunnerConfig rc = edge::make_runner_config(method, bench::bench_wireless());
   rc.duration = duration;
+  rc.metrics = registry;
 
   std::vector<double> sensing, extract, merge, track, diss;
   RunResult r;
@@ -93,6 +97,7 @@ RunResult run_once(edge::Method method, std::uint64_t seed, double duration) {
     diss.push_back(tr.dissemination_seconds);
   };
 
+  r.manifest = edge::make_manifest(rc, "perf_pipeline", seed);
   edge::SystemRunner runner(rc);
   const auto t0 = std::chrono::steady_clock::now();
   r.metrics = runner.run(sc);
@@ -124,13 +129,13 @@ Fingerprint fingerprint(const edge::MethodMetrics& m) {
           m.vehicles_entered};
 }
 
-void json_stage(std::FILE* f, const char* name, const StageStats& s,
-                bool last = false) {
-  std::fprintf(f,
-               "      \"%s\": {\"p50_ms\": %.6f, \"p95_ms\": %.6f, "
-               "\"mean_ms\": %.6f, \"samples\": %zu}%s\n",
-               name, s.p50 * 1e3, s.p95 * 1e3, s.mean * 1e3, s.samples,
-               last ? "" : ",");
+void json_stage(obs::JsonWriter& w, const char* name, const StageStats& s) {
+  w.key(name).begin_object();
+  w.kv("p50_ms", s.p50 * 1e3);
+  w.kv("p95_ms", s.p95 * 1e3);
+  w.kv("mean_ms", s.mean * 1e3);
+  w.kv("samples", static_cast<std::uint64_t>(s.samples));
+  w.end_object();
 }
 
 }  // namespace
@@ -163,29 +168,31 @@ int main(int argc, char** argv) {
   std::printf("threads: auto=%zu vs serial=1, %zu seed(s), %.0f s each\n\n",
               auto_threads, seeds.size(), duration);
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "perf_pipeline: cannot open %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"perf_pipeline\",\n");
-  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(f, "  \"threads_auto\": %zu,\n", auto_threads);
-  std::fprintf(f, "  \"methods\": [\n");
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "perf_pipeline");
+  w.kv("quick", quick);
+  w.kv("threads_auto", static_cast<std::uint64_t>(auto_threads));
+  w.key("methods").begin_array();
 
   bool all_deterministic = true;
   for (std::size_t mi = 0; mi < methods.size(); ++mi) {
     const edge::Method method = methods[mi];
 
     // Parallel (auto) pass, then the pinned serial pass over the same seeds.
+    // The first parallel run also carries the obs registry, whose stage
+    // histograms and counters go into the artifact alongside the FrameTrace
+    // percentiles.
+    obs::MetricsRegistry registry;
     double par_wall = 0.0, ser_wall = 0.0, par_sense = 0.0, ser_sense = 0.0;
     std::size_t frames = 0, raw_points = 0;
     std::vector<RunResult> par_runs;
     bool deterministic = true;
 
     core::set_thread_count(0);
-    for (const std::uint64_t seed : seeds) {
-      RunResult r = run_once(method, seed, duration);
+    for (std::size_t si = 0; si < seeds.size(); ++si) {
+      RunResult r = run_once(method, seeds[si], duration,
+                             si == 0 ? &registry : nullptr);
       par_wall += r.wall_seconds;
       par_sense += r.sensing_seconds;
       frames += r.frames;
@@ -222,31 +229,35 @@ int main(int argc, char** argv) {
                 head.merge.p50 * 1e3, head.track_relevance.p50 * 1e3,
                 head.dissemination.p50 * 1e3);
 
-    std::fprintf(f, "    {\n      \"method\": \"%s\",\n",
-                 edge::to_string(method));
-    std::fprintf(f, "      \"frames\": %zu,\n", frames);
-    std::fprintf(f, "      \"raw_points\": %zu,\n", raw_points);
-    std::fprintf(f, "      \"wall_seconds\": %.6f,\n", par_wall);
-    std::fprintf(f, "      \"wall_seconds_serial\": %.6f,\n", ser_wall);
-    std::fprintf(f, "      \"speedup_vs_1_thread\": %.4f,\n", speedup);
-    std::fprintf(f, "      \"sensing_points_per_sec\": %.1f,\n", pts_per_sec);
-    std::fprintf(f, "      \"deterministic_vs_serial\": %s,\n",
-                 deterministic ? "true" : "false");
-    std::fprintf(f, "      \"uplink_offered_bytes_per_frame\": %.1f,\n",
-                 head.metrics.uplink_offered_bytes_per_frame);
-    std::fprintf(f, "      \"uplink_drop_ratio\": %.4f,\n",
-                 head.metrics.uplink_drop_ratio);
-    json_stage(f, "sensing_wall", head.sensing);
-    json_stage(f, "extract_max", head.extract);
-    json_stage(f, "merge", head.merge);
-    json_stage(f, "track_relevance", head.track_relevance);
-    json_stage(f, "dissemination", head.dissemination, /*last=*/true);
-    std::fprintf(f, "    }%s\n", mi + 1 < methods.size() ? "," : "");
+    w.begin_object();
+    w.kv("method", edge::to_string(method));
+    obs::append_manifest(w, head.manifest);
+    w.kv("frames", static_cast<std::uint64_t>(frames));
+    w.kv("raw_points", static_cast<std::uint64_t>(raw_points));
+    w.kv("wall_seconds", par_wall);
+    w.kv("wall_seconds_serial", ser_wall);
+    w.kv("speedup_vs_1_thread", speedup);
+    w.kv("sensing_points_per_sec", pts_per_sec);
+    w.kv("deterministic_vs_serial", deterministic);
+    w.kv("uplink_offered_bytes_per_frame",
+         head.metrics.uplink_offered_bytes_per_frame);
+    w.kv("uplink_drop_ratio", head.metrics.uplink_drop_ratio);
+    json_stage(w, "sensing_wall", head.sensing);
+    json_stage(w, "extract_max", head.extract);
+    json_stage(w, "merge", head.merge);
+    json_stage(w, "track_relevance", head.track_relevance);
+    json_stage(w, "dissemination", head.dissemination);
+    obs::append_registry(w, registry);
+    w.end_object();
   }
 
-  std::fprintf(f, "  ],\n  \"deterministic\": %s\n}\n",
-               all_deterministic ? "true" : "false");
-  std::fclose(f);
+  w.end_array();
+  w.kv("deterministic", all_deterministic);
+  w.end_object();
+  if (!obs::write_file(out_path, w.str() + "\n")) {
+    std::fprintf(stderr, "perf_pipeline: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
 
   std::printf("\nwrote %s\n", out_path.c_str());
   if (!all_deterministic) {

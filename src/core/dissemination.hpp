@@ -32,8 +32,10 @@ struct Selection {
 };
 
 /// Algorithm 1: greedily pick the candidate maximizing R_ij / s_i until the
-/// budget is exhausted. Zero-relevance candidates are never sent. (We only
-/// add items that still fit, the standard fix to the greedy's last step.)
+/// budget is exhausted. Zero-relevance candidates are never sent; zero-byte
+/// candidates with positive relevance cost nothing and are always admitted,
+/// ahead of every sized candidate. (We only add items that still fit, the
+/// standard fix to the greedy's last step.)
 Selection greedy_dissemination(std::vector<Candidate> candidates,
                                std::size_t budget_bytes);
 
@@ -46,7 +48,9 @@ Selection optimal_dissemination(const std::vector<Candidate>& candidates,
 /// EMP baseline: Round-Robin — send every object to every vehicle in a fixed
 /// rotation, irrespective of relevance, as much as the budget allows each
 /// frame. `cursor` persists across frames so the rotation continues where it
-/// stopped.
+/// stopped. Items that could fit a later (emptier) frame block the rotation
+/// at the cursor; items larger than the whole per-frame budget can never be
+/// delivered and are skipped so they cannot starve the rotation.
 Selection round_robin_dissemination(const std::vector<Candidate>& candidates,
                                     std::size_t budget_bytes,
                                     std::size_t& cursor);

@@ -3,12 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/check.hpp"
+
 namespace erpd::core {
 
-namespace {
-
-/// Passing interval (seconds, clipped to [0, horizon]) of a trajectory
-/// through the disk (center, radius), or nullopt if it never enters.
 std::optional<geom::IntervalD> passing_interval(
     const track::PredictedTrajectory& traj, geom::Vec2 center, double radius) {
   const double horizon = traj.horizon;
@@ -23,17 +21,25 @@ std::optional<geom::IntervalD> passing_interval(
   // Use the first entry interval (the crossing the caller derived the center
   // from); later re-entries are beyond this interaction.
   for (const geom::IntervalD& arc : arcs) {
+    // circle_intervals yields arc-length intervals with 0 <= lo <= hi, so
+    // the time interval is already ordered before clipping and stays ordered
+    // after (lo is only raised to 0, hi only lowered to the horizon).
     geom::IntervalD t{arc.lo / traj.speed, arc.hi / traj.speed};
-    if (t.lo >= horizon) continue;
+    if (t.lo >= horizon) continue;  // entirely beyond the horizon
     t.hi = std::min(t.hi, horizon);
     t.lo = std::max(t.lo, 0.0);
-    if (t.hi > t.lo || (t.lo == 0.0 && t.hi == 0.0)) return t;
-    return geom::IntervalD{t.lo, std::max(t.hi, t.lo)};
+    ERPD_DCHECK(t.lo <= t.hi,
+                "passing_interval: clipped interval inverted [", t.lo, ", ",
+                t.hi, "]");
+    // A degenerate interval (t.lo == t.hi, e.g. a trajectory grazing the
+    // collision-area boundary) is intentionally returned as-is: a grazing
+    // contact is still a contact, so estimate_collision may report
+    // collides=true with collision_interval 0 (and ttc 0 when the graze is
+    // at the start of the horizon).
+    return t;
   }
   return std::nullopt;
 }
-
-}  // namespace
 
 std::optional<CollisionEstimate> estimate_collision(
     const track::PredictedTrajectory& a, const track::PredictedTrajectory& b,

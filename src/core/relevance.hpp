@@ -18,6 +18,7 @@
 
 #include <optional>
 
+#include "geom/segment.hpp"
 #include "geom/vec2.hpp"
 #include "sim/car_following.hpp"
 #include "track/prediction.hpp"
@@ -39,6 +40,16 @@ struct CollisionEstimate {
   geom::Vec2 collision_point{};
   double radius{0.0};
 };
+
+/// Passing interval (seconds, clipped to [0, horizon]) of a trajectory
+/// through the disk (center, radius), or nullopt if it never enters within
+/// the horizon. Only the first entry interval is considered; re-entries are
+/// beyond the interaction the caller derived the center from. Degenerate
+/// grazing contacts (zero-length intervals, including ones clipped to the
+/// horizon boundary) are returned as-is, so downstream estimates may report
+/// a collision with a zero-length collision interval.
+std::optional<geom::IntervalD> passing_interval(
+    const track::PredictedTrajectory& traj, geom::Vec2 center, double radius);
 
 /// Estimate the potential collision between two predicted trajectories.
 /// `length_a`/`length_b` are the objects' footprint lengths (meters); the

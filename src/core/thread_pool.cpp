@@ -1,5 +1,6 @@
 #include "core/thread_pool.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -20,10 +21,23 @@ namespace {
 // on the shared pool — output is identical by the determinism contract.
 thread_local bool tl_in_parallel = false;
 
+// Lane index of this thread in the current pool: 0 for the caller lane (and
+// any thread that never joined a pool), i+1 for spawned worker i. Chunk
+// accounting attributes work to lanes through it, including nested serial
+// regions that run on a worker thread.
+thread_local std::size_t tl_lane = 0;
+
 struct InParallelScope {
   InParallelScope() { tl_in_parallel = true; }
   ~InParallelScope() { tl_in_parallel = false; }
 };
+
+void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
 
 }  // namespace
 
@@ -44,6 +58,20 @@ struct ThreadPool::Impl {
   std::exception_ptr error;
   bool stop{false};
 
+  // Scheduling counters (PoolStats). Relaxed atomics, write-only on the hot
+  // path: the serial/nested fast path bypasses `mu` and can run concurrently
+  // on several workers, so even lane-local counts must be atomic.
+  std::atomic<std::uint64_t> jobs{0};
+  std::atomic<std::uint64_t> serial_jobs{0};
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> max_job_chunks{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> lane_chunks;
+
+  void count_chunk() {
+    chunks.fetch_add(1, std::memory_order_relaxed);
+    lane_chunks[tl_lane].fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Pull-and-run chunks of the current job until none are left. Requires
   /// `lk` held; returns with it held.
   void drain(std::unique_lock<std::mutex>& lk) {
@@ -54,8 +82,10 @@ struct ThreadPool::Impl {
       try {
         const InParallelScope scope;
         (*fn)(c);
+        count_chunk();
         lk.lock();
       } catch (...) {
+        count_chunk();
         lk.lock();
         if (!error) error = std::current_exception();
       }
@@ -63,7 +93,8 @@ struct ThreadPool::Impl {
     }
   }
 
-  void worker_main() {
+  void worker_main(std::size_t lane) {
+    tl_lane = lane;
     std::unique_lock<std::mutex> lk(mu);
     std::uint64_t seen = 0;
     for (;;) {
@@ -77,9 +108,12 @@ struct ThreadPool::Impl {
 
 ThreadPool::ThreadPool(std::size_t workers)
     : impl_(std::make_unique<Impl>()), workers_(std::max<std::size_t>(1, workers)) {
+  impl_->lane_chunks =
+      std::make_unique<std::atomic<std::uint64_t>[]>(workers_);
   impl_->threads.reserve(workers_ - 1);
   for (std::size_t i = 0; i + 1 < workers_; ++i) {
-    impl_->threads.emplace_back([impl = impl_.get()] { impl->worker_main(); });
+    impl_->threads.emplace_back(
+        [impl = impl_.get(), lane = i + 1] { impl->worker_main(lane); });
   }
 }
 
@@ -95,11 +129,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run_chunks(std::size_t n_chunks,
                             const std::function<void(std::size_t)>& fn) {
   if (n_chunks == 0) return;
+  atomic_max(impl_->max_job_chunks, n_chunks);
   if (workers_ == 1 || n_chunks == 1 || tl_in_parallel) {
     // Serial fast path: same chunks, same order, zero scheduling overhead.
     // Also taken for nested regions (tl_in_parallel) — the outer loop owns
     // the pool.
-    for (std::size_t c = 0; c < n_chunks; ++c) fn(c);
+    impl_->serial_jobs.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      fn(c);
+      impl_->count_chunk();
+    }
     return;
   }
 
@@ -111,6 +150,7 @@ void ThreadPool::run_chunks(std::size_t n_chunks,
   impl_->next_chunk = 0;
   impl_->remaining = n_chunks;
   impl_->error = nullptr;
+  impl_->jobs.fetch_add(1, std::memory_order_relaxed);
   ++impl_->generation;
   impl_->work_cv.notify_all();
 
@@ -125,6 +165,20 @@ void ThreadPool::run_chunks(std::size_t n_chunks,
     lk.unlock();
     std::rethrow_exception(e);
   }
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.workers = workers_;
+  s.jobs = impl_->jobs.load(std::memory_order_relaxed);
+  s.serial_jobs = impl_->serial_jobs.load(std::memory_order_relaxed);
+  s.chunks = impl_->chunks.load(std::memory_order_relaxed);
+  s.max_job_chunks = impl_->max_job_chunks.load(std::memory_order_relaxed);
+  s.lane_chunks.resize(workers_);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    s.lane_chunks[i] = impl_->lane_chunks[i].load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 namespace {

@@ -20,10 +20,34 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace erpd::core {
+
+/// Cumulative scheduling counters of one pool. A plain snapshot struct —
+/// erpd_threads stays observability-free; SystemRunner diffs two snapshots
+/// and records the delta into its metrics registry. Counting uses relaxed
+/// atomics only (scheduling order is already nondeterministic; the totals
+/// are not), so recording cannot perturb simulated outputs.
+struct PoolStats {
+  /// Execution lanes (spawned workers + the calling thread).
+  std::size_t workers{0};
+  /// Parallel regions dispatched to the worker threads.
+  std::uint64_t jobs{0};
+  /// Regions run on the serial fast path (1 worker, 1 chunk, or nested).
+  std::uint64_t serial_jobs{0};
+  /// Chunks executed, all lanes, both paths.
+  std::uint64_t chunks{0};
+  /// Widest region seen (chunks per job): the peak queue depth a lane can
+  /// pull from.
+  std::uint64_t max_job_chunks{0};
+  /// Chunks executed per lane; lane 0 is the calling thread. Uneven counts
+  /// show pull-scheduling imbalance (the "steals" of a work-stealing pool).
+  std::vector<std::uint64_t> lane_chunks;
+};
 
 class ThreadPool {
  public:
@@ -42,6 +66,9 @@ class ThreadPool {
   /// the remaining chunks finish or are abandoned.
   void run_chunks(std::size_t n_chunks,
                   const std::function<void(std::size_t)>& fn);
+
+  /// Snapshot of the cumulative scheduling counters (thread-safe).
+  PoolStats stats() const;
 
  private:
   struct Impl;

@@ -1,27 +1,18 @@
 #include "edge/edge_server.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "core/check.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/span.hpp"
 
 #include "pointcloud/encoding.hpp"
 #include "pointcloud/voxel_grid.hpp"
 
 namespace erpd::edge {
 
-using Clock = std::chrono::steady_clock;
 using geom::Vec2;
-
-namespace {
-
-double elapsed(Clock::time_point from) {
-  return std::chrono::duration<double>(Clock::now() - from).count();
-}
-
-}  // namespace
 
 EdgeServer::EdgeServer(const sim::RoadNetwork& net, EdgeConfig cfg)
     : net_(net),
@@ -187,7 +178,8 @@ FrameOutput EdgeServer::process_frame(
   FrameOutput out;
 
   // ---- Traffic-map construction (merge + detection) -----------------------
-  auto t0 = Clock::now();
+  obs::StageSpan merge_span(metrics_, "stage.merge",
+                            &out.timings.merge_seconds);
   const std::vector<track::Detection> detections =
       build_detections(uploads, truth);
   out.detections = detections.size();
@@ -209,10 +201,11 @@ FrameOutput EdgeServer::process_frame(
   std::erase_if(fleet_, [t](const auto& kv) {
     return t - kv.second.last_seen > 1.0;
   });
-  out.timings.merge_seconds = elapsed(t0);
+  merge_span.stop();
 
   // ---- Tracking + rules + prediction --------------------------------------
-  t0 = Clock::now();
+  obs::StageSpan track_span(metrics_, "stage.track",
+                            &out.timings.track_predict_seconds);
   tracker_.step(detections, t);
   const std::vector<const track::Track*> confirmed = tracker_.confirmed();
   out.confirmed_tracks = confirmed.size();
@@ -239,10 +232,11 @@ FrameOutput EdgeServer::process_frame(
                          predictor_.predict_hypotheses(
                              info.position, info.velocity, sim::AgentKind::kCar));
   }
-  out.timings.track_predict_seconds = elapsed(t0);
+  track_span.stop();
 
   // ---- Relevance estimation -----------------------------------------------
-  t0 = Clock::now();
+  obs::StageSpan relevance_span(metrics_, "stage.relevance",
+                                &out.timings.relevance_seconds);
 
   // Visibility: which tracks does each uploader already see?
   // For object-granular uploads, compare object centroids; for blobs, count
@@ -428,10 +422,11 @@ FrameOutput EdgeServer::process_frame(
     }
   }
   out.candidates = candidates.size();
-  out.timings.relevance_seconds = elapsed(t0);
+  relevance_span.stop();
 
   // ---- Dissemination scheduling -------------------------------------------
-  t0 = Clock::now();
+  obs::StageSpan diss_span(metrics_, "stage.disseminate",
+                           &out.timings.dissemination_seconds);
   const std::size_t budget = cfg_.wireless.downlink_budget_bytes();
   core::Selection sel;
   switch (cfg_.strategy) {
@@ -448,13 +443,24 @@ FrameOutput EdgeServer::process_frame(
       sel = core::broadcast_dissemination(candidates);
       break;
   }
-  out.timings.dissemination_seconds = elapsed(t0);
+  diss_span.stop();
 
   out.downlink_bytes = sel.total_bytes;
   out.delivered_relevance = sel.total_relevance;
   out.selected.reserve(sel.chosen.size());
   for (const core::Candidate& c : sel.chosen) {
     out.selected.push_back({c.to, c.track_id, c.about, c.bytes, c.relevance});
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("edge.detections").add(out.detections);
+    metrics_->counter("edge.confirmed_tracks").add(out.confirmed_tracks);
+    metrics_->counter("edge.moving_tracks").add(out.moving_tracks);
+    metrics_->counter("edge.coasting_tracks").add(out.coasting_tracks);
+    metrics_->counter("edge.candidates").add(out.candidates);
+    metrics_->counter("edge.stale_candidates").add(out.stale_candidates);
+    metrics_->counter("diss.selected_msgs").add(out.selected.size());
+    metrics_->counter("diss.selected_bytes").add(out.downlink_bytes);
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #include "core/relevance.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 #include "pointcloud/dbscan.hpp"
 #include "sim/road_network.hpp"
 #include "sim/world.hpp"
@@ -102,9 +103,16 @@ class EdgeServer {
   const track::MultiObjectTracker& tracker() const { return tracker_; }
   const EdgeConfig& config() const { return cfg_; }
 
+  /// Attach an observability registry (not owned; null detaches). Each
+  /// process_frame then times its modules into the stage.merge / stage.track
+  /// / stage.relevance / stage.disseminate histograms and accumulates
+  /// edge.* counters. Purely write-only: decisions never read metrics.
+  void attach_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+
  private:
   const sim::RoadNetwork& net_;
   EdgeConfig cfg_;
+  obs::MetricsRegistry* metrics_{nullptr};
   track::MultiObjectTracker tracker_;
   track::RuleEngine rules_;
   track::TrajectoryPredictor predictor_;

@@ -1,0 +1,82 @@
+#include "edge/metrics_io.hpp"
+
+#include "core/thread_pool.hpp"
+
+namespace erpd::edge {
+
+void append_method_metrics(obs::JsonWriter& w, const MethodMetrics& m) {
+#define X(field) w.kv(#field, m.field);
+  ERPD_METHOD_METRICS_FIELDS(X)
+#undef X
+}
+
+void append_frame_trace(obs::JsonWriter& w, const FrameTrace& t) {
+#define X(field) w.kv(#field, t.field);
+  ERPD_FRAME_TRACE_FIELDS(X)
+#undef X
+}
+
+std::vector<std::string_view> method_metrics_keys() {
+  return {
+#define X(field) #field,
+      ERPD_METHOD_METRICS_FIELDS(X)
+#undef X
+  };
+}
+
+std::vector<std::string_view> frame_trace_keys() {
+  return {
+#define X(field) #field,
+      ERPD_FRAME_TRACE_FIELDS(X)
+#undef X
+  };
+}
+
+obs::RunManifest make_manifest(const RunnerConfig& cfg,
+                               std::string_view scenario,
+                               std::uint64_t seed) {
+  obs::Fingerprint fp;
+  fp.fold(static_cast<int>(cfg.method));
+  fp.fold(cfg.wireless.uplink_mbps)
+      .fold(cfg.wireless.downlink_mbps)
+      .fold(cfg.wireless.frame_interval)
+      .fold(cfg.wireless.base_latency);
+  fp.fold(static_cast<int>(cfg.edge.strategy))
+      .fold(cfg.edge.follower_relevance)
+      .fold(cfg.edge.min_relevance)
+      .fold(cfg.edge.staleness_decay)
+      .fold(cfg.edge.follower.alpha)
+      .fold(static_cast<int>(cfg.edge.follower.criterion))
+      .fold(cfg.edge.detect_voxel)
+      .fold(cfg.edge.visibility_radius)
+      .fold(cfg.edge.self_radius);
+  fp.fold(static_cast<int>(cfg.client.policy))
+      .fold(cfg.client.truth_match_radius);
+  fp.fold(cfg.duration).fold(cfg.frames_per_pipeline);
+  fp.fold(cfg.fault.seed)
+      .fold(cfg.fault.uplink_loss)
+      .fold(cfg.fault.downlink_loss)
+      .fold(cfg.fault.jitter_mean)
+      .fold(cfg.fault.downlink_deadline)
+      .fold(cfg.fault.random_disconnect_rate)
+      .fold(cfg.fault.disconnect_epoch);
+  for (const net::Outage& o : cfg.fault.outages) {
+    fp.fold(o.start).fold(o.duration);
+  }
+  for (const net::Disconnect& d : cfg.fault.disconnects) {
+    fp.fold(static_cast<std::int64_t>(d.vehicle))
+        .fold(d.start)
+        .fold(d.duration);
+  }
+
+  obs::RunManifest mf;
+  mf.scenario = std::string(scenario);
+  mf.seed = seed;
+  mf.method = to_string(cfg.method);
+  mf.config_fingerprint = fp.hex();
+  mf.threads = core::thread_count();
+  mf.git_sha = std::string(obs::build_git_sha());
+  return mf;
+}
+
+}  // namespace erpd::edge

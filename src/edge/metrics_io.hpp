@@ -1,0 +1,84 @@
+#pragma once
+// JSON serialization of the runner's result structs (DESIGN.md §11).
+//
+// One X-macro table per struct is the single source of truth for both the
+// JSON writer and the exported key list, so the golden-schema test can prove
+// the wire format tracks the struct: adding a MethodMetrics field without
+// touching the exporter is impossible, and renaming a key silently is caught.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "edge/system_runner.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+
+// Every exported MethodMetrics field, in struct declaration order.
+#define ERPD_METHOD_METRICS_FIELDS(X) \
+  X(vehicles_entered)                 \
+  X(vehicles_safe)                    \
+  X(safe_passage_rate)                \
+  X(conflict_safe_rate)               \
+  X(ego_safe)                         \
+  X(follower_safe)                    \
+  X(follower_min_gap)                 \
+  X(collisions)                       \
+  X(min_key_distance)                 \
+  X(uplink_mbps)                      \
+  X(downlink_mbps)                    \
+  X(uplink_bytes_per_frame)           \
+  X(downlink_bytes_per_frame)         \
+  X(uplink_offered_bytes_per_frame)   \
+  X(uplink_drop_ratio)                \
+  X(avg_objects_detected)             \
+  X(e2e_latency)                      \
+  X(extraction_seconds)               \
+  X(upload_seconds)                   \
+  X(merge_seconds)                    \
+  X(track_predict_seconds)            \
+  X(dissemination_decision_seconds)   \
+  X(downlink_transfer_seconds)        \
+  X(delivered_relevance)              \
+  X(disseminations)                   \
+  X(uplink_loss_ratio)                \
+  X(downlink_deadline_miss_ratio)     \
+  X(coasted_track_frames)             \
+  X(stale_relevance_frames)
+
+// Every exported FrameTrace field, in struct declaration order.
+#define ERPD_FRAME_TRACE_FIELDS(X) \
+  X(frame)                         \
+  X(vehicles)                      \
+  X(raw_points)                    \
+  X(offered_bytes)                 \
+  X(delivered_bytes)               \
+  X(sensing_wall_seconds)          \
+  X(extract_max_seconds)           \
+  X(merge_seconds)                 \
+  X(track_relevance_seconds)       \
+  X(dissemination_seconds)
+
+namespace erpd::edge {
+
+/// Write every MethodMetrics field as "name": value pairs. Call with the
+/// writer positioned inside an object.
+void append_method_metrics(obs::JsonWriter& w, const MethodMetrics& m);
+
+/// Write every FrameTrace field as "name": value pairs. Call with the
+/// writer positioned inside an object.
+void append_frame_trace(obs::JsonWriter& w, const FrameTrace& t);
+
+/// The JSON key set append_method_metrics emits, in emission order.
+std::vector<std::string_view> method_metrics_keys();
+
+/// The JSON key set append_frame_trace emits, in emission order.
+std::vector<std::string_view> frame_trace_keys();
+
+/// Build the provenance manifest for a run of `cfg`: fingerprints every
+/// configuration value that can change simulated behavior, and stamps the
+/// current thread count and configure-time git revision.
+obs::RunManifest make_manifest(const RunnerConfig& cfg,
+                               std::string_view scenario, std::uint64_t seed);
+
+}  // namespace erpd::edge

@@ -1,16 +1,15 @@
 #include "edge/system_runner.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <cstdio>
 
 #include "core/check.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/span.hpp"
 #include "pointcloud/encoding.hpp"
 
 namespace erpd::edge {
-
-using Clock = std::chrono::steady_clock;
 
 const char* to_string(Method m) {
   switch (m) {
@@ -59,10 +58,14 @@ namespace {
 /// exceeds its budget); object-granular uploads drop whole objects.
 std::vector<net::UploadFrame> apply_uplink_cap(
     std::vector<net::UploadFrame> frames, std::size_t budget_bytes,
-    std::size_t rotate) {
+    std::size_t rotate, obs::MetricsRegistry* metrics) {
   std::vector<net::UploadFrame> out;
   if (frames.empty()) return out;
   net::FrameBudget budget(budget_bytes);
+  if (metrics != nullptr) {
+    budget.attach(&metrics->counter("uplink.cap_granted_bytes"),
+                  &metrics->counter("uplink.cap_denied_bytes"));
+  }
   const std::size_t n = frames.size();
   for (std::size_t k = 0; k < n; ++k) {
     net::UploadFrame& f = frames[(rotate + k) % n];
@@ -120,16 +123,24 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   sim::World& world = sc.world;
   const sim::RoadNetwork& net = world.network();
 
+  obs::MetricsRegistry* const metrics = cfg_.metrics;
+  ClientConfig client_cfg = cfg_.client;
+  client_cfg.metrics = metrics;
+
   std::map<sim::AgentId, VehicleClient> clients;
   if (cfg_.method != Method::kSingle) {
     for (const sim::Vehicle& v : world.vehicles()) {
       if (v.params().connected && !v.params().parked) {
-        clients.emplace(v.id(), VehicleClient(v.id(), cfg_.client));
+        clients.emplace(v.id(), VehicleClient(v.id(), client_cfg));
       }
     }
   }
 
   EdgeServer server(net, cfg_.edge);
+  server.attach_metrics(metrics);
+  // Thread-pool scheduling counters are recorded as a start/end delta so a
+  // shared global pool does not leak earlier runs' work into this run.
+  const core::PoolStats pool_start = core::global_pool().stats();
 
   MethodMetrics m;
   net::BandwidthMeter up_meter;
@@ -149,7 +160,8 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   // Fault-injection bookkeeping. With an inactive FaultConfig the channel
   // never drops, jitters or disconnects anything and every counter below
   // stays zero, so the run is bit-identical to the lossless pipeline.
-  const net::LossyChannel channel(cfg_.fault);
+  net::LossyChannel channel(cfg_.fault);
+  channel.attach_metrics(metrics);
   const bool faults = channel.active();
   std::size_t upload_frames_offered = 0;
   std::size_t upload_frames_lost = 0;
@@ -197,13 +209,14 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       const std::vector<sim::AgentSnapshot> truth = world.snapshot();
       uploads.resize(site_ids.size());
       std::vector<ClientFrameStats> stats(site_ids.size());
-      const auto t_sense0 = Clock::now();
-      core::parallel_for(site_ids.size(), 1, [&](std::size_t i) {
-        uploads[i] = clients.at(site_ids[i])
-                         .make_upload(world, &voronoi, i, &stats[i], &truth);
-      });
-      const double sensing_wall =
-          std::chrono::duration<double>(Clock::now() - t_sense0).count();
+      double sensing_wall = 0.0;
+      {
+        obs::StageSpan sense_span(metrics, "stage.sense", &sensing_wall);
+        core::parallel_for(site_ids.size(), 1, [&](std::size_t i) {
+          uploads[i] = clients.at(site_ids[i])
+                           .make_upload(world, &voronoi, i, &stats[i], &truth);
+        });
+      }
       double max_extract = 0.0;
       std::size_t raw_points = 0;
       for (const ClientFrameStats& s : stats) {
@@ -234,7 +247,7 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       std::vector<net::UploadFrame> delivered =
           capped ? apply_uplink_cap(std::move(uploads),
                                     cfg_.wireless.uplink_budget_bytes(),
-                                    static_cast<std::size_t>(frame))
+                                    static_cast<std::size_t>(frame), metrics)
                  : std::move(uploads);
       std::size_t delivered_bytes = 0;
       for (const net::UploadFrame& f : delivered) {
@@ -243,6 +256,12 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       up_meter.add(delivered_bytes);
       sum_offered += static_cast<double>(offered_bytes);
       sum_dropped += static_cast<double>(offered_bytes - delivered_bytes);
+      if (metrics != nullptr) {
+        metrics->counter("uplink.offered_bytes").add(offered_bytes);
+        metrics->counter("uplink.delivered_bytes").add(delivered_bytes);
+        metrics->counter("uplink.dropped_bytes")
+            .add(offered_bytes - delivered_bytes);
+      }
 
       // --- Edge server ---
       const FrameOutput fo =
@@ -275,12 +294,18 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
         }
         if (miss) {
           ++downlink_missed;
+          if (metrics != nullptr) {
+            metrics->counter("net.downlink_deadline_miss").add();
+          }
           continue;
         }
         if (d.about != sim::kInvalidAgent) {
           world.notify_vehicle(d.to, d.about);
         }
         m.delivered_relevance += d.relevance;
+        if (metrics != nullptr) {
+          metrics->counter("diss.delivered_msgs").add();
+        }
       }
       m.disseminations += static_cast<int>(fo.selected.size());
       down_meter.add(fo.downlink_bytes);
@@ -303,12 +328,24 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
           fo.timings.track_predict_seconds + fo.timings.relevance_seconds;
       sum_diss += fo.timings.dissemination_seconds;
       sum_downlink += t_down;
-      sum_e2e += max_extract + t_upload + fo.timings.merge_seconds +
-                 fo.timings.track_predict_seconds +
-                 fo.timings.relevance_seconds +
-                 fo.timings.dissemination_seconds + t_down;
+      const double e2e = max_extract + t_upload + fo.timings.merge_seconds +
+                         fo.timings.track_predict_seconds +
+                         fo.timings.relevance_seconds +
+                         fo.timings.dissemination_seconds + t_down;
+      sum_e2e += e2e;
       sum_objects += static_cast<double>(fo.moving_tracks);
       ++pipeline_frames;
+      if (metrics != nullptr) {
+        // stage.upload / stage.downlink are simulated transfer delays
+        // (deterministic for a seed); stage.e2e additionally folds in the
+        // host-measured module times, so it varies run to run like any
+        // wall-clock span.
+        metrics->histogram("stage.upload").record_seconds(t_upload);
+        metrics->histogram("stage.downlink").record_seconds(t_down);
+        metrics->histogram("stage.e2e").record_seconds(e2e);
+        metrics->counter("downlink.bytes").add(fo.downlink_bytes);
+        metrics->counter("frames.pipeline").add();
+      }
 
       if (cfg_.on_frame) {
         FrameTrace tr;
@@ -392,6 +429,30 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   if (downlink_selected > 0) {
     m.downlink_deadline_miss_ratio = static_cast<double>(downlink_missed) /
                                      static_cast<double>(downlink_selected);
+  }
+
+  if (metrics != nullptr) {
+    const core::PoolStats ps = core::global_pool().stats();
+    metrics->gauge("pool.workers").set(static_cast<double>(ps.workers));
+    metrics->gauge("pool.jobs")
+        .set(static_cast<double>(ps.jobs - pool_start.jobs));
+    metrics->gauge("pool.serial_jobs")
+        .set(static_cast<double>(ps.serial_jobs - pool_start.serial_jobs));
+    metrics->gauge("pool.chunks")
+        .set(static_cast<double>(ps.chunks - pool_start.chunks));
+    metrics->gauge("pool.max_job_chunks")
+        .set(static_cast<double>(ps.max_job_chunks));
+    // Per-lane executed chunks (lane 0 = the caller). Guard against a pool
+    // rebuilt mid-run with a different width.
+    for (std::size_t i = 0; i < ps.lane_chunks.size(); ++i) {
+      const std::uint64_t before = i < pool_start.lane_chunks.size()
+                                       ? pool_start.lane_chunks[i]
+                                       : 0;
+      char name[40];
+      std::snprintf(name, sizeof name, "pool.lane_chunks.%02zu", i);
+      metrics->gauge(name).set(
+          static_cast<double>(ps.lane_chunks[i] - before));
+    }
   }
   return m;
 }

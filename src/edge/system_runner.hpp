@@ -22,6 +22,7 @@
 #include "edge/vehicle_client.hpp"
 #include "net/channel.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scenario.hpp"
 
 namespace erpd::edge {
@@ -68,6 +69,14 @@ struct RunnerConfig {
   /// selected, before channel faults). Used by the golden-scenario harness.
   std::function<void(int frame, const std::vector<net::Dissemination>&)>
       on_decisions;
+  /// Optional observability registry (not owned). When set, the runner wires
+  /// it through every layer it drives — clients (stage.extract), the edge
+  /// server (stage.merge/track/relevance/disseminate), the lossy channel and
+  /// the uplink cap — and records its own stage.sense/upload/downlink/e2e
+  /// spans, byte/loss counters and thread-pool gauges. Recording is
+  /// write-only: a run with metrics attached produces bit-identical
+  /// simulated outputs to one without.
+  obs::MetricsRegistry* metrics{nullptr};
 };
 
 struct MethodMetrics {

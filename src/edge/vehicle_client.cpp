@@ -3,6 +3,7 @@
 #include <chrono>
 #include <limits>
 
+#include "obs/span.hpp"
 #include "pointcloud/ground_filter.hpp"
 
 namespace erpd::edge {
@@ -42,7 +43,9 @@ net::UploadFrame VehicleClient::make_upload(
   frame.pose = me->sensor_pose(world.network(), world.config().sensor_height);
 
   const sim::LidarScan scan = world.scan_from(vehicle_);
-  const auto t0 = Clock::now();
+  double processing_seconds = 0.0;
+  obs::StageSpan extract_span(cfg_.metrics, "stage.extract",
+                              &processing_seconds);
 
   switch (cfg_.policy) {
     case UploadPolicy::kOursMovingObjects: {
@@ -101,6 +104,11 @@ net::UploadFrame VehicleClient::make_upload(
     }
   }
 
+  extract_span.stop();
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("client.raw_points").add(scan.cloud.size());
+    cfg_.metrics->counter("client.upload_bytes").add(frame.total_bytes());
+  }
   if (stats != nullptr) {
     stats->raw_points = scan.cloud.size();
     stats->uploaded_points = 0;
@@ -108,8 +116,7 @@ net::UploadFrame VehicleClient::make_upload(
     for (const net::ObjectUpload& o : frame.objects) {
       stats->uploaded_points += o.point_count;
     }
-    stats->processing_seconds =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    stats->processing_seconds = processing_seconds;
   }
   return frame;
 }

@@ -18,6 +18,7 @@
 
 #include "geom/voronoi.hpp"
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 #include "pointcloud/moving_extractor.hpp"
 #include "sim/world.hpp"
 
@@ -36,6 +37,11 @@ struct ClientConfig {
   /// Distance within which an extracted object is matched to a ground-truth
   /// agent for harness bookkeeping.
   double truth_match_radius{2.5};
+  /// Optional observability registry (not owned). make_upload records its
+  /// extraction time into stage.extract and bumps client.raw_points /
+  /// client.upload_bytes — from whichever pool worker runs the client, which
+  /// is why the registry must be shareable across threads.
+  obs::MetricsRegistry* metrics{nullptr};
 };
 
 struct ClientFrameStats {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace erpd::net {
 
@@ -59,6 +60,15 @@ class FrameBudget {
   std::size_t capacity() const { return capacity_; }
   std::size_t used() const { return used_; }
 
+  /// Attach byte counters fed by every grant decision: `granted` accumulates
+  /// admitted bytes, `denied` the bytes refused (the shortfall for partial
+  /// grants). Either may be null. Observability only — recording never
+  /// changes what is granted.
+  void attach(obs::Counter* granted, obs::Counter* denied) {
+    granted_ = granted;
+    denied_ = denied;
+  }
+
   /// Bytes still grantable this frame. Guarded so a corrupted or
   /// over-granted state reports 0 instead of underflowing std::size_t to a
   /// near-infinite budget; ERPD_DCHECK still flags the broken invariant in
@@ -71,10 +81,14 @@ class FrameBudget {
 
   /// True if the whole request fits; grants it atomically.
   bool try_grant(std::size_t bytes) {
-    if (bytes > remaining()) return false;
+    if (bytes > remaining()) {
+      if (denied_ != nullptr) denied_->add(bytes);
+      return false;
+    }
     used_ += bytes;
     ERPD_ENSURE(used_ <= capacity_, "FrameBudget: grant of ", bytes,
                 " bytes overflowed capacity ", capacity_);
+    if (granted_ != nullptr) granted_->add(bytes);
     return true;
   }
 
@@ -84,6 +98,8 @@ class FrameBudget {
     used_ += g;
     ERPD_ENSURE(used_ <= capacity_, "FrameBudget: partial grant of ", g,
                 " bytes overflowed capacity ", capacity_);
+    if (granted_ != nullptr) granted_->add(g);
+    if (denied_ != nullptr) denied_->add(bytes - g);
     return g;
   }
 
@@ -92,6 +108,8 @@ class FrameBudget {
  private:
   std::size_t capacity_;
   std::size_t used_{0};
+  obs::Counter* granted_{nullptr};
+  obs::Counter* denied_{nullptr};
 };
 
 /// Transfer completion delay for a message of `bytes` over a link of

@@ -26,24 +26,29 @@ bool LossyChannel::vehicle_offline(sim::AgentId vehicle, double t) const {
 
 bool LossyChannel::uplink_lost(sim::AgentId vehicle, int frame,
                                double t) const {
-  if (in_outage(t)) return true;
-  if (cfg_.uplink_loss <= 0.0) return false;
-  return uniform(kUplinkDrop, static_cast<std::uint64_t>(vehicle),
-                 static_cast<std::uint64_t>(frame)) < cfg_.uplink_loss;
+  const bool lost =
+      in_outage(t) ||
+      (cfg_.uplink_loss > 0.0 &&
+       uniform(kUplinkDrop, static_cast<std::uint64_t>(vehicle),
+               static_cast<std::uint64_t>(frame)) < cfg_.uplink_loss);
+  if (lost && uplink_lost_ctr_ != nullptr) uplink_lost_ctr_->add();
+  return lost;
 }
 
 bool LossyChannel::downlink_lost(sim::AgentId to, int track_id, int frame,
                                  double t) const {
-  if (in_outage(t)) return true;
-  if (vehicle_offline(to, t)) return true;
-  if (cfg_.downlink_loss <= 0.0) return false;
   // Mix recipient and track into one counter so two disseminations in the
   // same frame draw independent fates.
   const std::uint64_t msg =
       core::seed_mix(static_cast<std::uint64_t>(to),
                      static_cast<std::uint64_t>(track_id));
-  return uniform(kDownlinkDrop, msg, static_cast<std::uint64_t>(frame)) <
-         cfg_.downlink_loss;
+  const bool lost =
+      in_outage(t) || vehicle_offline(to, t) ||
+      (cfg_.downlink_loss > 0.0 &&
+       uniform(kDownlinkDrop, msg, static_cast<std::uint64_t>(frame)) <
+           cfg_.downlink_loss);
+  if (lost && downlink_lost_ctr_ != nullptr) downlink_lost_ctr_->add();
+  return lost;
 }
 
 double LossyChannel::uplink_jitter(int frame) const {

@@ -20,6 +20,7 @@
 
 #include "core/check.hpp"
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/types.hpp"
 
 namespace erpd::net {
@@ -123,6 +124,19 @@ class LossyChannel {
   const FaultConfig& config() const { return cfg_; }
   bool active() const { return cfg_.active(); }
 
+  /// Cache loss counters from `registry` (null detaches). Each uplink_lost /
+  /// downlink_lost query that answers "lost" then bumps
+  /// net.uplink_lost_msgs / net.downlink_lost_msgs. Recording is write-only:
+  /// the fault decisions stay pure functions of (seed, stream, ids, frame).
+  void attach_metrics(obs::MetricsRegistry* registry) {
+    uplink_lost_ctr_ =
+        registry != nullptr ? &registry->counter("net.uplink_lost_msgs")
+                            : nullptr;
+    downlink_lost_ctr_ =
+        registry != nullptr ? &registry->counter("net.downlink_lost_msgs")
+                            : nullptr;
+  }
+
   /// True while a channel-wide burst outage covers simulated time `t`.
   bool in_outage(double t) const {
     for (const Outage& o : cfg_.outages) {
@@ -164,6 +178,8 @@ class LossyChannel {
   double uniform(std::uint64_t stream, std::uint64_t a, std::uint64_t b) const;
 
   FaultConfig cfg_;
+  obs::Counter* uplink_lost_ctr_{nullptr};
+  obs::Counter* downlink_lost_ctr_{nullptr};
 };
 
 }  // namespace erpd::net

@@ -1,0 +1,244 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/check.hpp"
+
+namespace erpd::obs {
+
+void JsonWriter::separator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_in_container_) out_ += ',';
+  if (!stack_.empty()) {
+    out_ += '\n';
+    indent();
+  }
+  first_in_container_ = false;
+}
+
+void JsonWriter::indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ += '{';
+  stack_.push_back('o');
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ERPD_REQUIRE(!stack_.empty() && stack_.back() == 'o' && !after_key_,
+               "JsonWriter: end_object without matching begin_object");
+  stack_.pop_back();
+  if (!first_in_container_) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += '}';
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ += '[';
+  stack_.push_back('a');
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ERPD_REQUIRE(!stack_.empty() && stack_.back() == 'a' && !after_key_,
+               "JsonWriter: end_array without matching begin_array");
+  stack_.pop_back();
+  if (!first_in_container_) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += ']';
+  first_in_container_ = false;
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  ERPD_REQUIRE(!stack_.empty() && stack_.back() == 'o' && !after_key_,
+               "JsonWriter: key() is only valid directly inside an object");
+  separator();
+  append_escaped(out_, k);
+  out_ += ": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separator();
+  append_escaped(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; export as null rather than corrupt the doc.
+    out_ += "null";
+    return *this;
+  }
+  // Shortest round-trippable decimal: try 15 significant digits, fall back
+  // to 17 when that loses bits.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out_ += buf;
+  // Keep integral doubles distinguishable from JSON integers.
+  if (out_.find_first_of(".eEn", out_.size() - std::strlen(buf)) ==
+      std::string::npos) {
+    out_ += ".0";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separator();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separator();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  ERPD_REQUIRE(stack_.empty() && !after_key_,
+               "JsonWriter: document has unclosed containers");
+  return out_;
+}
+
+void append_manifest(JsonWriter& w, const RunManifest& manifest) {
+  w.key("manifest").begin_object();
+  w.kv("scenario", manifest.scenario);
+  w.kv("seed", manifest.seed);
+  w.kv("method", manifest.method);
+  w.kv("config_fingerprint", manifest.config_fingerprint);
+  w.kv("threads", static_cast<std::uint64_t>(manifest.threads));
+  w.kv("git_sha", manifest.git_sha);
+  w.end_object();
+}
+
+void append_registry(JsonWriter& w, const MetricsRegistry& registry) {
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : registry.counters()) w.kv(name, v);
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : registry.gauges()) w.kv(name, v);
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : registry.histograms()) {
+    w.key(name).begin_object();
+    w.kv("count", h->count());
+    w.kv("sum", h->sum());
+    w.kv("mean", h->mean());
+    w.kv("p50", h->quantile(0.50));
+    w.kv("p95", h->quantile(0.95));
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = h->bucket_count(i);
+      if (c == 0) continue;
+      w.begin_array().value(Histogram::bucket_lower(i)).value(c).end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+std::string to_csv(const MetricsRegistry& registry,
+                   const RunManifest& manifest) {
+  std::string out;
+  char buf[256];
+  const auto row = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  row("manifest,scenario,%s\n", manifest.scenario.c_str());
+  row("manifest,seed,%llu\n", static_cast<unsigned long long>(manifest.seed));
+  row("manifest,method,%s\n", manifest.method.c_str());
+  row("manifest,config_fingerprint,%s\n",
+      manifest.config_fingerprint.c_str());
+  row("manifest,threads,%zu\n", manifest.threads);
+  row("manifest,git_sha,%s\n", manifest.git_sha.c_str());
+  for (const auto& [name, v] : registry.counters()) {
+    row("counter,%s,%llu\n", name.c_str(),
+        static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : registry.gauges()) {
+    row("gauge,%s,%.17g\n", name.c_str(), v);
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    row("histogram,%s,%llu,%llu,%.17g,%.17g,%.17g\n", name.c_str(),
+        static_cast<unsigned long long>(h->count()),
+        static_cast<unsigned long long>(h->sum()), h->mean(),
+        h->quantile(0.50), h->quantile(0.95));
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace erpd::obs

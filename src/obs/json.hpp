@@ -1,0 +1,84 @@
+#pragma once
+// The single JSON/CSV exporter every metrics-bearing artifact goes through
+// (DESIGN.md §11). Bench tools, the scenario harness and tools/metrics_dump
+// all build their documents with JsonWriter and stamp them with a
+// RunManifest; nothing outside src/obs/ hand-assembles JSON strings.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace erpd::obs {
+
+/// Minimal streaming JSON writer: explicit begin/end for objects and arrays,
+/// automatic comma placement, two-space indentation, escaped strings,
+/// round-trippable doubles. Misuse (value without key inside an object,
+/// unbalanced end) is a ContractViolation in checked builds.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+#if defined(__APPLE__) || defined(_WIN32)
+  JsonWriter& value(std::size_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+#endif
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The finished document. Valid once every begin_* has been matched.
+  const std::string& str() const;
+
+ private:
+  void separator();
+  void indent();
+
+  std::string out_;
+  /// One entry per open container: 'o' for object, 'a' for array.
+  std::vector<char> stack_;
+  bool first_in_container_{true};
+  bool after_key_{false};
+};
+
+/// "manifest": {...} — call with the writer positioned inside an object.
+void append_manifest(JsonWriter& w, const RunManifest& manifest);
+
+/// "counters": {...}, "gauges": {...}, "histograms": {...} — sorted by name;
+/// histograms carry count/sum/mean/p50/p95 and the non-empty buckets as
+/// [lower_bound, count] pairs.
+void append_registry(JsonWriter& w, const MetricsRegistry& registry);
+
+/// Flat CSV rendering of manifest + registry:
+///   manifest,<key>,<value>
+///   counter,<name>,<value>
+///   gauge,<name>,<value>
+///   histogram,<name>,<count>,<sum>,<mean>,<p50>,<p95>
+std::string to_csv(const MetricsRegistry& registry,
+                   const RunManifest& manifest);
+
+/// Write `content` to `path`, truncating; false on I/O failure.
+bool write_file(const std::string& path, std::string_view content);
+
+}  // namespace erpd::obs

@@ -1,0 +1,37 @@
+#include "obs/manifest.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace erpd::obs {
+
+#ifndef ERPD_GIT_SHA
+#define ERPD_GIT_SHA "unknown"
+#endif
+
+std::string_view build_git_sha() { return ERPD_GIT_SHA; }
+
+Fingerprint& Fingerprint::fold(double v) {
+  // +0.0 and -0.0 compare equal but differ bitwise; canonicalize so equal
+  // configs fingerprint equally.
+  if (v == 0.0) v = 0.0;
+  return fold(std::bit_cast<std::uint64_t>(v));
+}
+
+Fingerprint& Fingerprint::fold(std::string_view s) {
+  fold(static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) {
+    h_ = core::seed_mix(h_, static_cast<std::uint64_t>(
+                                static_cast<unsigned char>(c)));
+  }
+  return *this;
+}
+
+std::string Fingerprint::hex() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(h_));
+  return buf;
+}
+
+}  // namespace erpd::obs

@@ -1,0 +1,63 @@
+#pragma once
+// Run provenance attached to every metrics export (DESIGN.md §11).
+//
+// A RunManifest answers "what produced these numbers": scenario, seed,
+// method, a fingerprint of the effective configuration, the worker count and
+// the source revision. Exports without a manifest are not comparable across
+// machines or commits, which is how bench trajectories silently rot.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/rng.hpp"
+
+namespace erpd::obs {
+
+struct RunManifest {
+  /// Scenario or workload name (e.g. "unprotected_left_turn").
+  std::string scenario;
+  /// Base scenario seed (first seed for multi-seed sweeps).
+  std::uint64_t seed{0};
+  /// Evaluated method, or a sweep label like "Ours+EMP" for multi-method
+  /// exports.
+  std::string method;
+  /// Hex fingerprint of the effective run configuration (see Fingerprint).
+  std::string config_fingerprint;
+  /// Worker count of the global thread pool during the run.
+  std::size_t threads{0};
+  /// Source revision the binary was configured from ("unknown" outside git).
+  std::string git_sha;
+};
+
+/// Configure-time git revision baked into the library ("unknown" when the
+/// source tree was not a git checkout). Best-effort provenance: it goes
+/// stale only until the next CMake configure.
+std::string_view build_git_sha();
+
+/// Order-sensitive 64-bit config hasher built on the splitmix64 mixer.
+/// Callers fold every configuration value that could change behavior; equal
+/// fingerprints then certify comparable runs.
+class Fingerprint {
+ public:
+  Fingerprint& fold(std::uint64_t v) {
+    h_ = core::seed_mix(h_, v);
+    return *this;
+  }
+  Fingerprint& fold(std::int64_t v) {
+    return fold(static_cast<std::uint64_t>(v));
+  }
+  Fingerprint& fold(int v) { return fold(static_cast<std::uint64_t>(v)); }
+  Fingerprint& fold(bool v) { return fold(std::uint64_t{v ? 1u : 0u}); }
+  Fingerprint& fold(double v);
+  Fingerprint& fold(std::string_view s);
+
+  std::uint64_t value() const { return h_; }
+  /// "0x%016x" rendering for manifests.
+  std::string hex() const;
+
+ private:
+  std::uint64_t h_{0x0b5e55ull};  // arbitrary non-zero start
+};
+
+}  // namespace erpd::obs

@@ -1,10 +1,10 @@
 #include "scenario_harness.hpp"
 
 #include <bit>
-#include <cstdio>
-#include <fstream>
 
 #include "core/rng.hpp"
+#include "edge/metrics_io.hpp"
+#include "obs/json.hpp"
 
 namespace erpd::harness {
 
@@ -124,36 +124,35 @@ std::vector<FaultCase> default_fault_matrix() {
   return matrix;
 }
 
-std::string metrics_json(const std::vector<CaseResult>& results) {
-  std::string out = "[\n";
-  char buf[512];
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const CaseResult& r = results[i];
-    const edge::MethodMetrics& m = r.metrics;
-    std::snprintf(
-        buf, sizeof buf,
-        "  {\"case\": \"%s\", \"conflict_safe_rate\": %.6f,"
-        " \"safe_passage_rate\": %.6f, \"min_key_distance\": %.6f,"
-        " \"collisions\": %d, \"disseminations\": %d,"
-        " \"uplink_loss_ratio\": %.6f, \"downlink_deadline_miss_ratio\": %.6f,"
-        " \"coasted_track_frames\": %d, \"stale_relevance_frames\": %d,"
-        " \"uplink_mbps\": %.6f, \"e2e_latency_ms\": %.3f}%s\n",
-        r.fcase.name.c_str(), m.conflict_safe_rate, m.safe_passage_rate,
-        m.min_key_distance, m.collisions, m.disseminations,
-        m.uplink_loss_ratio, m.downlink_deadline_miss_ratio,
-        m.coasted_track_frames, m.stale_relevance_frames, m.uplink_mbps,
-        1e3 * m.e2e_latency, i + 1 < results.size() ? "," : "");
-    out += buf;
+std::string metrics_json(const std::vector<CaseResult>& results,
+                         edge::Method method, std::uint64_t seed) {
+  obs::JsonWriter w;
+  w.begin_object();
+  obs::append_manifest(
+      w, edge::make_manifest(make_fault_runner(method, FaultCase{}),
+                             "fault-matrix", seed));
+  w.key("cases").begin_array();
+  for (const CaseResult& r : results) {
+    w.begin_object();
+    w.kv("case", r.fcase.name);
+    // Per-case manifest: the fingerprint covers this case's fault schedule
+    // and degradation policy (the resolved fcase includes any ego-blackout
+    // window run_case appended).
+    obs::append_manifest(
+        w, edge::make_manifest(make_fault_runner(method, r.fcase),
+                               r.fcase.name, seed));
+    w.key("metrics").begin_object();
+    edge::append_method_metrics(w, r.metrics);
+    w.end_object();
+    w.end_object();
   }
-  out += "]\n";
-  return out;
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
 }
 
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) return false;
-  f << content;
-  return static_cast<bool>(f);
+  return obs::write_file(path, content);
 }
 
 namespace {

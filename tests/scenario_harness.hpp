@@ -73,8 +73,12 @@ CaseResult run_case(edge::Method method, const FaultCase& fc,
 /// single-vehicle (ego) blackout / burst outage / latency jitter.
 std::vector<FaultCase> default_fault_matrix();
 
-/// JSON document (array of per-case metric objects) for the CI artifact.
-std::string metrics_json(const std::vector<CaseResult>& results);
+/// JSON document for the CI artifact, built on the obs exporter: a
+/// document-level RunManifest plus one object per case carrying that case's
+/// manifest (with the case-specific config fingerprint) and the full
+/// MethodMetrics field set. `method`/`seed` must match what run_case ran.
+std::string metrics_json(const std::vector<CaseResult>& results,
+                         edge::Method method, std::uint64_t seed);
 
 /// Write `content` to `path`; returns false on I/O failure.
 bool write_file(const std::string& path, const std::string& content);

@@ -189,6 +189,70 @@ TEST(RoundRobin, EmptyInput) {
   EXPECT_TRUE(s.chosen.empty());
 }
 
+TEST(Greedy, ZeroByteCandidatesAlwaysAdmittedFirst) {
+  // Zero-byte positive-relevance candidates are free relevance: they sort
+  // strictly ahead of every sized candidate (the old finite pseudo-award
+  // R*1e12 could be outranked) and are admitted even with no budget at all.
+  std::vector<Candidate> c = {
+      cand(1, 10, 0.9, 1000),
+      cand(2, 11, 1e-9, 0),
+      cand(3, 12, 0.5, 0),
+  };
+  const Selection s = greedy_dissemination(c, 0);
+  ASSERT_EQ(s.chosen.size(), 2u);
+  // Free candidates rank among themselves by relevance.
+  EXPECT_EQ(s.chosen[0].track_id, 3);
+  EXPECT_EQ(s.chosen[1].track_id, 2);
+  EXPECT_EQ(s.total_bytes, 0u);
+}
+
+TEST(Greedy, ZeroByteZeroRelevanceStillExcluded) {
+  std::vector<Candidate> c = {cand(1, 10, 0.0, 0)};
+  EXPECT_TRUE(greedy_dissemination(c, 100).chosen.empty());
+}
+
+TEST(RoundRobin, OversizedItemDoesNotStarveRotation) {
+  // Regression: an item larger than the whole per-frame budget used to park
+  // the cursor forever — every later frame returned an empty selection and
+  // no vehicle received anything again. It must be skipped instead.
+  const std::vector<Candidate> c = {
+      cand(0, 1, 0.0, 400),
+      cand(1, 1, 0.0, 5000),  // can never fit any frame's budget
+      cand(2, 1, 0.0, 400),
+  };
+  std::size_t cursor = 1;  // parked exactly on the oversized item
+  Selection s = round_robin_dissemination(c, 900, cursor);
+  ASSERT_EQ(s.chosen.size(), 2u);
+  EXPECT_EQ(s.chosen[0].track_id, 2);
+  EXPECT_EQ(s.chosen[1].track_id, 0);
+  // Recovery is permanent: every subsequent frame keeps delivering.
+  for (int frame = 0; frame < 3; ++frame) {
+    s = round_robin_dissemination(c, 900, cursor);
+    EXPECT_EQ(s.chosen.size(), 2u) << "frame " << frame;
+  }
+}
+
+TEST(RoundRobin, ItemExactlyAtBudgetStillDelivered) {
+  // bytes == budget is deliverable, not oversized; the next item stalls the
+  // rotation as before (it could fit a later, emptier frame).
+  const std::vector<Candidate> c = {cand(0, 1, 0.0, 900),
+                                    cand(1, 1, 0.0, 400)};
+  std::size_t cursor = 0;
+  const Selection s = round_robin_dissemination(c, 900, cursor);
+  ASSERT_EQ(s.chosen.size(), 1u);
+  EXPECT_EQ(s.chosen[0].track_id, 0);
+  EXPECT_EQ(cursor, 1u);
+}
+
+TEST(RoundRobin, AllOversizedReturnsEmptyButRotates) {
+  const std::vector<Candidate> c = {cand(0, 1, 0.0, 5000),
+                                    cand(1, 1, 0.0, 6000)};
+  std::size_t cursor = 0;
+  const Selection s = round_robin_dissemination(c, 900, cursor);
+  EXPECT_TRUE(s.chosen.empty());
+  EXPECT_EQ(cursor, 0u);  // full rotation completed, nothing deliverable
+}
+
 TEST(Broadcast, SendsEverything) {
   const std::vector<Candidate> c = {
       cand(0, 1, 0.1, 1000), cand(1, 2, 0.0, 2000), cand(2, 3, 0.9, 3000)};

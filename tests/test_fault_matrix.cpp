@@ -30,7 +30,8 @@ class FaultMatrix : public ::testing::Test {
   }
   static void TearDownTestSuite() {
     if (const char* path = std::getenv("ERPD_SCENARIO_JSON")) {
-      harness::write_file(path, harness::metrics_json(*results_));
+      harness::write_file(
+          path, harness::metrics_json(*results_, edge::Method::kOurs, 42));
     }
     delete results_;
     results_ = nullptr;

@@ -192,6 +192,76 @@ TEST(ProbabilisticRelevance, DisjointTimesKeepZero) {
   EXPECT_DOUBLE_EQ(est->relevance, 0.0);
 }
 
+TEST(PassingInterval, EntryBeforeStartClipsToZero) {
+  // Object starts inside the collision area: entry time clips to 0, exit is
+  // distance-to-boundary / speed.
+  const auto t = passing_interval(traj({0.0, 0.0}, {1.0, 0.0}, 10.0),
+                                  {1.0, 0.0}, 5.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->lo, 0.0);
+  EXPECT_DOUBLE_EQ(t->hi, 0.6);
+}
+
+TEST(PassingInterval, ExitClipsToHorizon) {
+  // Entry inside the horizon, exit beyond it: [0.7, 1.7] clips to [0.7, 1.0].
+  track::PredictedTrajectory tr;
+  tr.speed = 10.0;
+  tr.horizon = 1.0;
+  tr.path = Polyline{{{0.0, 0.0}, {100.0, 0.0}}};
+  const auto t = passing_interval(tr, {12.0, 0.0}, 5.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->lo, 0.7);
+  EXPECT_DOUBLE_EQ(t->hi, 1.0);
+}
+
+TEST(PassingInterval, EntirelyBeyondHorizonIsNull) {
+  track::PredictedTrajectory tr;
+  tr.speed = 10.0;
+  tr.horizon = 1.0;
+  tr.path = Polyline{{{0.0, 0.0}, {100.0, 0.0}}};
+  EXPECT_FALSE(passing_interval(tr, {25.0, 0.0}, 5.0).has_value());
+}
+
+TEST(PassingInterval, EntryExactlyAtHorizonIsNull) {
+  // Boundary: the passing interval is half-open against the horizon; an
+  // entry at exactly t == horizon is already outside it.
+  track::PredictedTrajectory tr;
+  tr.speed = 10.0;
+  tr.horizon = 1.0;
+  tr.path = Polyline{{{0.0, 0.0}, {100.0, 0.0}}};
+  EXPECT_FALSE(passing_interval(tr, {15.0, 0.0}, 5.0).has_value());
+}
+
+TEST(PassingInterval, StationaryInsideCoversWholeHorizon) {
+  const auto t =
+      passing_interval(traj({1.0, 0.0}, {1.0, 0.0}, 0.0), {0.0, 0.0}, 5.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->lo, 0.0);
+  EXPECT_DOUBLE_EQ(t->hi, 5.0);
+}
+
+TEST(PassingInterval, StationaryOutsideIsNull) {
+  EXPECT_FALSE(
+      passing_interval(traj({10.0, 0.0}, {1.0, 0.0}, 0.0), {0.0, 0.0}, 5.0)
+          .has_value());
+}
+
+TEST(Relevance, GrazingTouchCollidesWithZeroInterval) {
+  // Passing intervals [0.5, 1.5] and [1.5, 2.5] touch at exactly one
+  // instant. Decision (documented in relevance.cpp): a grazing contact is
+  // still a contact — collides=true with a zero-length collision interval,
+  // so relevance comes entirely from the TTC term.
+  const auto a = traj({-10.0, 0.0}, {1.0, 0.0}, 10.0);
+  const auto b = traj({0.0, -20.0}, {0.0, 1.0}, 10.0);
+  const auto est = estimate_collision(a, b, 5.0, 5.0);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(est->collides);
+  EXPECT_DOUBLE_EQ(est->collision_interval, 0.0);
+  EXPECT_DOUBLE_EQ(est->r_ci, 0.0);
+  EXPECT_DOUBLE_EQ(est->ttc, 1.5);
+  EXPECT_DOUBLE_EQ(est->relevance, 0.5 * (1.0 - 1.5 / 5.0));
+}
+
 class SpeedSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(SpeedSweep, SimultaneousArrivalAlwaysCollides) {

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Bench regression tripwire for perf_pipeline artifacts.
+
+Compares a freshly produced BENCH_pipeline.json against the committed
+baseline: for every method, the fresh sensing throughput must be at least
+half the committed value (2x headroom absorbs runner-hardware variance while
+still catching order-of-magnitude pipeline regressions), and the run must
+have been deterministic.
+
+Usage: check_bench.py <fresh.json> <baseline.json>
+"""
+
+import json
+import sys
+
+
+def methods_by_name(doc):
+    return {m["method"]: m for m in doc["methods"]}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        fresh = json.load(f)
+    with open(argv[2]) as f:
+        base = json.load(f)
+
+    failures = []
+    if not fresh.get("deterministic", False):
+        failures.append("fresh run was not deterministic vs serial")
+
+    fresh_methods = methods_by_name(fresh)
+    for name, b in methods_by_name(base).items():
+        m = fresh_methods.get(name)
+        if m is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        floor = b["sensing_points_per_sec"] / 2.0
+        got = m["sensing_points_per_sec"]
+        status = "ok" if got >= floor else "REGRESSION"
+        print(
+            f"{name:10s} sensing_points_per_sec {got:14.1f}"
+            f" (baseline {b['sensing_points_per_sec']:14.1f},"
+            f" floor {floor:14.1f}) {status}"
+        )
+        if got < floor:
+            failures.append(
+                f"{name}: sensing_points_per_sec {got:.1f} < floor {floor:.1f}"
+            )
+
+    for msg in failures:
+        print(f"check_bench: FAIL - {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
