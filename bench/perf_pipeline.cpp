@@ -13,6 +13,7 @@
 //   --out=FILE  output path (default BENCH_pipeline.json in the CWD)
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
@@ -127,6 +129,31 @@ Fingerprint fingerprint(const edge::MethodMetrics& m) {
           m.min_key_distance,        m.follower_min_gap,
           m.collisions,              m.disseminations,
           m.vehicles_entered};
+}
+
+/// 64-bit hash of the behavioral fingerprint, exported into the artifact so
+/// check_bench.py can require fault-free bench runs to stay *bit-identical*
+/// to the committed baseline — a tripwire for silent behavior drift (e.g. a
+/// wire-codec change altering billed bytes), not just perf regressions.
+std::string behavior_fingerprint_hex(const edge::MethodMetrics& m) {
+  const Fingerprint f = fingerprint(m);
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  const auto fold_d = [&h](double v) {
+    h = core::seed_mix(h, std::bit_cast<std::uint64_t>(v));
+  };
+  fold_d(f.up_bytes);
+  fold_d(f.down_bytes);
+  fold_d(f.offered);
+  fold_d(f.relevance);
+  fold_d(f.min_dist);
+  fold_d(f.gap);
+  h = core::seed_mix(h, static_cast<std::uint64_t>(f.collisions));
+  h = core::seed_mix(h, static_cast<std::uint64_t>(f.disseminations));
+  h = core::seed_mix(h, static_cast<std::uint64_t>(f.entered));
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
 }
 
 void json_stage(obs::JsonWriter& w, const char* name, const StageStats& s) {
@@ -239,6 +266,7 @@ int main(int argc, char** argv) {
     w.kv("speedup_vs_1_thread", speedup);
     w.kv("sensing_points_per_sec", pts_per_sec);
     w.kv("deterministic_vs_serial", deterministic);
+    w.kv("behavior_fingerprint", behavior_fingerprint_hex(head.metrics));
     w.kv("uplink_offered_bytes_per_frame",
          head.metrics.uplink_offered_bytes_per_frame);
     w.kv("uplink_drop_ratio", head.metrics.uplink_drop_ratio);

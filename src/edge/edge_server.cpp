@@ -17,6 +17,7 @@ using geom::Vec2;
 EdgeServer::EdgeServer(const sim::RoadNetwork& net, EdgeConfig cfg)
     : net_(net),
       cfg_(cfg),
+      guard_(cfg.ingest),
       tracker_(cfg.tracker),
       rules_(net, cfg.rules),
       predictor_(net, cfg.predictor) {
@@ -173,9 +174,21 @@ std::vector<track::Detection> EdgeServer::build_detections(
 }
 
 FrameOutput EdgeServer::process_frame(
-    const std::vector<net::UploadFrame>& uploads, double t,
+    const std::vector<net::UploadFrame>& uploads_in, double t,
     const std::vector<sim::AgentSnapshot>* truth) {
   FrameOutput out;
+
+  // ---- Ingest admission (DESIGN.md §12) -----------------------------------
+  // With admission control off and no wire payloads attached, the guard is
+  // bypassed entirely: `uploads` aliases the input and this frame is
+  // bit-identical to the pre-hardening pipeline.
+  std::vector<net::UploadFrame> admitted;
+  const std::vector<net::UploadFrame>* input = &uploads_in;
+  if (guard_.should_run(uploads_in)) {
+    admitted = guard_.admit(uploads_in, t, &out.ingest);
+    input = &admitted;
+  }
+  const std::vector<net::UploadFrame>& uploads = *input;
 
   // ---- Traffic-map construction (merge + detection) -----------------------
   obs::StageSpan merge_span(metrics_, "stage.merge",

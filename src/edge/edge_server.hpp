@@ -16,6 +16,7 @@
 
 #include "core/dissemination.hpp"
 #include "core/relevance.hpp"
+#include "edge/ingest_guard.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
 #include "obs/metrics.hpp"
@@ -61,6 +62,10 @@ struct EdgeConfig {
   /// A track this close to a connected vehicle's reported pose *is* that
   /// vehicle.
   double self_radius{2.5};
+  /// Untrusted-ingest admission control (DESIGN.md §12). Disabled by
+  /// default; wire-payload validation still runs whenever uploads carry
+  /// on-the-wire buffers.
+  IngestConfig ingest{};
 };
 
 struct ModuleTimings {
@@ -86,6 +91,9 @@ struct FrameOutput {
   std::size_t coasting_tracks{0};
   /// Accepted relevance candidates whose source track was stale.
   std::size_t stale_candidates{0};
+  /// Ingest admission outcome for this frame (all zero when the guard did
+  /// not run).
+  IngestStats ingest{};
   ModuleTimings timings{};
 };
 
@@ -106,13 +114,18 @@ class EdgeServer {
   /// Attach an observability registry (not owned; null detaches). Each
   /// process_frame then times its modules into the stage.merge / stage.track
   /// / stage.relevance / stage.disseminate histograms and accumulates
-  /// edge.* counters. Purely write-only: decisions never read metrics.
-  void attach_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+  /// edge.* / ingest.* counters. Purely write-only: decisions never read
+  /// metrics.
+  void attach_metrics(obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+    guard_.attach_metrics(registry);
+  }
 
  private:
   const sim::RoadNetwork& net_;
   EdgeConfig cfg_;
   obs::MetricsRegistry* metrics_{nullptr};
+  IngestGuard guard_;
   track::MultiObjectTracker tracker_;
   track::RuleEngine rules_;
   track::TrajectoryPredictor predictor_;

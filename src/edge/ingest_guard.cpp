@@ -1,0 +1,242 @@
+#include "edge/ingest_guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+#include "pointcloud/encoding.hpp"
+
+namespace erpd::edge {
+
+namespace {
+
+bool finite_pose(const geom::Pose& pose) {
+  return std::isfinite(pose.position.x) && std::isfinite(pose.position.y) &&
+         std::isfinite(pose.position.z) && std::isfinite(pose.yaw) &&
+         std::isfinite(pose.pitch) && std::isfinite(pose.roll);
+}
+
+}  // namespace
+
+void IngestConfig::validate() const {
+  ERPD_REQUIRE(max_pose_speed > 0.0,
+               "IngestConfig: max_pose_speed must be > 0, got ",
+               max_pose_speed);
+  ERPD_REQUIRE(max_abs_coord > 0.0,
+               "IngestConfig: max_abs_coord must be > 0, got ", max_abs_coord);
+  ERPD_REQUIRE(max_timestamp_ahead >= 0.0,
+               "IngestConfig: max_timestamp_ahead must be >= 0, got ",
+               max_timestamp_ahead);
+  ERPD_REQUIRE(strike_threshold >= 1,
+               "IngestConfig: strike_threshold must be >= 1, got ",
+               strike_threshold);
+  ERPD_REQUIRE(strike_decay >= 0.0,
+               "IngestConfig: strike_decay must be >= 0, got ", strike_decay);
+  ERPD_REQUIRE(quarantine_base > 0.0 && quarantine_max >= quarantine_base,
+               "IngestConfig: need 0 < quarantine_base <= quarantine_max");
+}
+
+IngestGuard::IngestGuard(IngestConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+
+void IngestGuard::attach_metrics(obs::MetricsRegistry* registry) {
+  const bool on = registry != nullptr;
+  rejected_crc_ctr_ = on ? &registry->counter("ingest.rejected_crc") : nullptr;
+  rejected_semantic_ctr_ =
+      on ? &registry->counter("ingest.rejected_semantic") : nullptr;
+  quarantined_ctr_ =
+      on ? &registry->counter("ingest.quarantined_vehicles") : nullptr;
+  shed_ctr_ = on ? &registry->counter("ingest.shed_uploads") : nullptr;
+  quarantine_dropped_ctr_ =
+      on ? &registry->counter("ingest.quarantine_dropped_frames") : nullptr;
+}
+
+bool IngestGuard::should_run(
+    const std::vector<net::UploadFrame>& uploads) const {
+  if (cfg_.enabled) return true;
+  for (const net::UploadFrame& f : uploads) {
+    for (const net::ObjectUpload& o : f.objects) {
+      if (o.wire_present) return true;
+    }
+  }
+  return false;
+}
+
+bool IngestGuard::quarantined(sim::AgentId vehicle, double t) const {
+  const auto it = vehicles_.find(vehicle);
+  return it != vehicles_.end() && t < it->second.quarantine_until;
+}
+
+void IngestGuard::note_offense(VehicleState& vs, double t,
+                               IngestStats* stats) {
+  vs.strikes += 1.0;
+  if (vs.strikes < static_cast<double>(cfg_.strike_threshold)) return;
+  vs.strikes = 0.0;
+  const double backoff =
+      cfg_.quarantine_base * std::exp2(static_cast<double>(vs.quarantines));
+  vs.quarantine_until = t + std::min(backoff, cfg_.quarantine_max);
+  ++vs.quarantines;
+  ++stats->quarantine_events;
+  if (quarantined_ctr_ != nullptr) quarantined_ctr_->add();
+}
+
+std::vector<net::UploadFrame> IngestGuard::admit(
+    const std::vector<net::UploadFrame>& uploads, double t,
+    IngestStats* stats) {
+  std::vector<net::UploadFrame> admitted;
+  admitted.reserve(uploads.size());
+
+  // Vehicles already seen in this batch: a second frame from the same sender
+  // within one pipeline frame is a replay/duplication artifact.
+  std::vector<sim::AgentId> seen;
+
+  for (const net::UploadFrame& f : uploads) {
+    if (cfg_.enabled && quarantined(f.vehicle, t)) {
+      ++stats->quarantine_dropped;
+      if (quarantine_dropped_ctr_ != nullptr) quarantine_dropped_ctr_->add();
+      continue;
+    }
+
+    VehicleState& vs = vehicles_[f.vehicle];
+    bool reject = false;
+    if (cfg_.enabled) {
+      std::size_t frame_points = 0;
+      for (const net::ObjectUpload& o : f.objects) {
+        frame_points += o.point_count;
+      }
+      const bool duplicate =
+          std::find(seen.begin(), seen.end(), f.vehicle) != seen.end();
+      seen.push_back(f.vehicle);
+      reject =
+          duplicate || !finite_pose(f.pose) ||
+          std::abs(f.pose.position.x) > cfg_.max_abs_coord ||
+          std::abs(f.pose.position.y) > cfg_.max_abs_coord ||
+          !std::isfinite(f.timestamp) ||
+          f.timestamp > t + cfg_.max_timestamp_ahead ||
+          (vs.has_last && f.timestamp <= vs.last_timestamp) ||
+          f.objects.size() > cfg_.max_objects_per_frame ||
+          frame_points > cfg_.max_points_per_frame;
+      if (!reject && vs.has_last) {
+        // Pose jump: the implied speed since the last accepted frame must be
+        // physically plausible (timestamp monotonicity above guarantees
+        // dt > 0).
+        const double dt = f.timestamp - vs.last_timestamp;
+        const double dist = distance(f.pose.position.xy(), vs.last_position);
+        reject = dist > cfg_.max_pose_speed * dt;
+      }
+    }
+    if (reject) {
+      ++stats->rejected_semantic;
+      if (rejected_semantic_ctr_ != nullptr) rejected_semantic_ctr_->add();
+      note_offense(vs, t, stats);
+      continue;
+    }
+
+    // Per-object validation. Wire payloads (present only when the fault
+    // layer mangles buffers) must pass try_decode regardless of `enabled`;
+    // semantic bounds checks on object positions need admission control on.
+    net::UploadFrame kept;
+    kept.vehicle = f.vehicle;
+    kept.pose = f.pose;
+    kept.timestamp = f.timestamp;
+    kept.objects.reserve(f.objects.size());
+    std::size_t dropped_objects = 0;
+    for (const net::ObjectUpload& o : f.objects) {
+      if (o.wire_present) {
+        pc::DecodeResult r = pc::try_decode(o.wire);
+        if (!r.ok()) {
+          ++dropped_objects;
+          ++stats->rejected_crc;
+          if (rejected_crc_ctr_ != nullptr) rejected_crc_ctr_->add();
+          continue;
+        }
+        net::ObjectUpload checked = o;
+        // Trust only what validated: the decoded buffer is the payload.
+        checked.cloud_world = std::move(r.cloud);
+        checked.wire = pc::EncodedCloud{};
+        checked.wire_present = false;
+        kept.objects.push_back(std::move(checked));
+        continue;
+      }
+      if (cfg_.enabled &&
+          (!std::isfinite(o.centroid_world.x) ||
+           !std::isfinite(o.centroid_world.y) ||
+           std::abs(o.centroid_world.x) > cfg_.max_abs_coord ||
+           std::abs(o.centroid_world.y) > cfg_.max_abs_coord)) {
+        ++dropped_objects;
+        ++stats->rejected_semantic;
+        if (rejected_semantic_ctr_ != nullptr) rejected_semantic_ctr_->add();
+        continue;
+      }
+      kept.objects.push_back(o);
+    }
+
+    if (cfg_.enabled) {
+      if (dropped_objects > 0) {
+        note_offense(vs, t, stats);
+      } else {
+        vs.strikes = std::max(0.0, vs.strikes - cfg_.strike_decay);
+      }
+      vs.last_timestamp = f.timestamp;
+      vs.last_position = f.pose.position.xy();
+      vs.has_last = true;
+    }
+    // An all-objects-rejected frame still carries a validated pose, which
+    // the edge's fleet registry can use.
+    admitted.push_back(std::move(kept));
+  }
+
+  // ---- Overload shedding ----
+  if (cfg_.enabled && cfg_.point_budget_per_frame > 0) {
+    struct Slot {
+      std::size_t frame;
+      std::size_t object;
+      std::size_t points;
+      sim::AgentId vehicle;
+    };
+    std::vector<Slot> slots;
+    std::size_t total = 0;
+    for (std::size_t fi = 0; fi < admitted.size(); ++fi) {
+      for (std::size_t oi = 0; oi < admitted[fi].objects.size(); ++oi) {
+        const std::size_t pts = admitted[fi].objects[oi].point_count;
+        slots.push_back({fi, oi, pts, admitted[fi].vehicle});
+        total += pts;
+      }
+    }
+    if (total > cfg_.point_budget_per_frame) {
+      // Value order: biggest clouds first (most perception value per
+      // header), with a full deterministic tie-break so the shed set is
+      // identical across platforms and thread counts.
+      std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+        if (a.points != b.points) return a.points > b.points;
+        if (a.vehicle != b.vehicle) return a.vehicle < b.vehicle;
+        return a.object < b.object;
+      });
+      std::vector<std::vector<bool>> keep(admitted.size());
+      for (std::size_t fi = 0; fi < admitted.size(); ++fi) {
+        keep[fi].assign(admitted[fi].objects.size(), false);
+      }
+      std::size_t used = 0;
+      for (const Slot& s : slots) {
+        if (used + s.points <= cfg_.point_budget_per_frame) {
+          used += s.points;
+          keep[s.frame][s.object] = true;
+        } else {
+          ++stats->shed_uploads;
+          if (shed_ctr_ != nullptr) shed_ctr_->add();
+        }
+      }
+      for (std::size_t fi = 0; fi < admitted.size(); ++fi) {
+        net::UploadFrame& f = admitted[fi];
+        std::vector<net::ObjectUpload> remaining;
+        remaining.reserve(f.objects.size());
+        for (std::size_t oi = 0; oi < f.objects.size(); ++oi) {
+          if (keep[fi][oi]) remaining.push_back(std::move(f.objects[oi]));
+        }
+        f.objects = std::move(remaining);
+      }
+    }
+  }
+  return admitted;
+}
+
+}  // namespace erpd::edge

@@ -68,6 +68,21 @@ obs::RunManifest make_manifest(const RunnerConfig& cfg,
         .fold(d.start)
         .fold(d.duration);
   }
+  fp.fold(cfg.fault.uplink_corruption).fold(cfg.fault.downlink_corruption);
+  for (const net::Byzantine& b : cfg.fault.byzantine) {
+    fp.fold(static_cast<std::int64_t>(b.vehicle)).fold(b.start);
+  }
+  fp.fold(cfg.edge.ingest.enabled ? 1 : 0)
+      .fold(cfg.edge.ingest.max_pose_speed)
+      .fold(cfg.edge.ingest.max_abs_coord)
+      .fold(static_cast<std::int64_t>(cfg.edge.ingest.max_objects_per_frame))
+      .fold(static_cast<std::int64_t>(cfg.edge.ingest.max_points_per_frame))
+      .fold(cfg.edge.ingest.max_timestamp_ahead)
+      .fold(cfg.edge.ingest.strike_threshold)
+      .fold(cfg.edge.ingest.strike_decay)
+      .fold(cfg.edge.ingest.quarantine_base)
+      .fold(cfg.edge.ingest.quarantine_max)
+      .fold(static_cast<std::int64_t>(cfg.edge.ingest.point_budget_per_frame));
 
   obs::RunManifest mf;
   mf.scenario = std::string(scenario);

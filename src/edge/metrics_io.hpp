@@ -44,7 +44,11 @@
   X(uplink_loss_ratio)                \
   X(downlink_deadline_miss_ratio)     \
   X(coasted_track_frames)             \
-  X(stale_relevance_frames)
+  X(stale_relevance_frames)           \
+  X(ingest_rejected_crc)              \
+  X(ingest_rejected_semantic)         \
+  X(ingest_quarantined_vehicles)      \
+  X(ingest_shed_uploads)
 
 // Every exported FrameTrace field, in struct declaration order.
 #define ERPD_FRAME_TRACE_FIELDS(X) \

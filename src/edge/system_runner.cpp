@@ -107,6 +107,95 @@ std::vector<net::UploadFrame> apply_uplink_cap(
   return out;
 }
 
+/// Mangle delivered upload frames per the channel's corruption / Byzantine
+/// schedule (DESIGN.md §12). Every decision and every mangle parameter is a
+/// pure hash of (seed, vehicle, frame), and the loop runs in delivery order
+/// on the caller's thread, so the result is thread-count-independent.
+/// `last_clean` caches each vehicle's previous delivered (pre-mangle) frame
+/// for stale replay.
+void apply_wire_faults(std::vector<net::UploadFrame>& delivered,
+                       const net::LossyChannel& channel, int frame, double t,
+                       const pc::EncodingConfig& enc_cfg,
+                       std::map<sim::AgentId, net::UploadFrame>& last_clean) {
+  const auto encode_objects = [&](net::UploadFrame& f) {
+    for (net::ObjectUpload& o : f.objects) {
+      o.wire = pc::encode(o.cloud_world, enc_cfg);
+      o.wire_present = true;
+    }
+  };
+  const auto truncate_objects = [&](net::UploadFrame& f) {
+    encode_objects(f);
+    std::uint64_t salt = 0x10;
+    for (net::ObjectUpload& o : f.objects) {
+      const std::uint64_t w = channel.corruption_word(f.vehicle, frame, salt++);
+      o.wire.bytes.resize(w % std::max<std::size_t>(o.wire.bytes.size(), 1));
+    }
+  };
+
+  std::vector<net::UploadFrame> duplicates;
+  for (net::UploadFrame& f : delivered) {
+    const bool cache_replay = channel.corruption_active();
+    net::UploadFrame clean;
+    if (cache_replay) clean = f;
+
+    if (channel.is_byzantine(f.vehicle, t)) {
+      // Structurally valid, semantically garbage: teleport the pose and all
+      // object positions by a deterministic multi-km offset. Finite values
+      // keep the no-guard pipeline running (mis-tracking, not crashing);
+      // with admission control on, the out-of-bounds coordinates earn
+      // strikes and eventually quarantine.
+      const std::uint64_t w = channel.corruption_word(f.vehicle, frame, 1);
+      const double dx =
+          3000.0 + static_cast<double>(w & 0xffff) / 65535.0 * 3000.0;
+      const geom::Vec3 off{dx, ((w >> 16) & 1) != 0 ? dx : -dx, 0.0};
+      f.pose.position += off;
+      for (net::ObjectUpload& o : f.objects) {
+        o.centroid_world += off;
+      }
+    } else {
+      switch (channel.uplink_corruption(f.vehicle, frame)) {
+        case net::CorruptionKind::kNone:
+          break;
+        case net::CorruptionKind::kBitFlip: {
+          encode_objects(f);
+          for (std::size_t oi = 0; oi < f.objects.size(); ++oi) {
+            net::ObjectUpload& o = f.objects[oi];
+            if (o.wire.bytes.empty()) continue;
+            const std::uint64_t w =
+                channel.corruption_word(f.vehicle, frame, 0x20 + oi);
+            const int flips = 1 + static_cast<int>(w % 7);
+            for (int k = 0; k < flips; ++k) {
+              const std::uint64_t bit = channel.corruption_word(
+                  f.vehicle, frame,
+                  0x10000 + oi * 64 + static_cast<std::uint64_t>(k));
+              const std::size_t pos = bit % (o.wire.bytes.size() * 8);
+              o.wire.bytes[pos / 8] ^= static_cast<std::uint8_t>(1u << (pos % 8));
+            }
+          }
+          break;
+        }
+        case net::CorruptionKind::kTruncate:
+          truncate_objects(f);
+          break;
+        case net::CorruptionKind::kDuplicate:
+          duplicates.push_back(f);
+          break;
+        case net::CorruptionKind::kStaleReplay: {
+          const auto it = last_clean.find(f.vehicle);
+          if (it != last_clean.end()) {
+            f = it->second;  // yesterday's news arrives instead
+          } else {
+            truncate_objects(f);
+          }
+          break;
+        }
+      }
+    }
+    if (cache_replay) last_clean[f.vehicle] = std::move(clean);
+  }
+  for (net::UploadFrame& d : duplicates) delivered.push_back(std::move(d));
+}
+
 }  // namespace
 
 SystemRunner::SystemRunner(RunnerConfig cfg) : cfg_(cfg) {
@@ -170,6 +259,11 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   // Tracks which clients were offline last pipeline frame, to reset their
   // local pipeline state on reconnect.
   std::map<sim::AgentId, bool> offline_prev;
+  // Per-vehicle cache of the previously delivered (clean) upload frame, fed
+  // to stale-replay corruption. Only maintained while corruption is active.
+  std::map<sim::AgentId, net::UploadFrame> replay_cache;
+  const bool wire_faults =
+      faults && (channel.corruption_active() || channel.has_byzantine());
 
   const int steps =
       static_cast<int>(std::llround(cfg_.duration / world.config().dt));
@@ -249,6 +343,17 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
                                     cfg_.wireless.uplink_budget_bytes(),
                                     static_cast<std::size_t>(frame), metrics)
                  : std::move(uploads);
+
+      // --- Payload corruption & Byzantine senders ---
+      // Applied to what actually crosses the wire (post-cap). Mangled
+      // payloads travel as ObjectUpload::wire buffers the edge must validate
+      // with pc::try_decode; duplicated/replayed frames consume downstream
+      // bytes like any other transmission.
+      if (wire_faults) {
+        apply_wire_faults(delivered, channel, frame, world.time(),
+                          client_cfg.encoding, replay_cache);
+      }
+
       std::size_t delivered_bytes = 0;
       for (const net::UploadFrame& f : delivered) {
         delivered_bytes += f.total_bytes();
@@ -276,9 +381,17 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       downlink_selected += fo.selected.size();
       double max_down_jitter = 0.0;
       for (const net::Dissemination& d : fo.selected) {
+        // Exactly one fate per message, billed exactly once: lost (billed
+        // net.downlink_lost_msgs inside the channel), else corrupted (billed
+        // net.downlink_corrupted_msgs inside the channel), else possibly
+        // past deadline (billed net.downlink_deadline_miss here). A lost or
+        // corrupted message never also counts as a deadline miss.
         bool miss = false;
         if (faults) {
           if (channel.downlink_lost(d.to, d.track_id, frame, world.time())) {
+            miss = true;
+          } else if (channel.downlink_corrupted(d.to, d.track_id, frame)) {
+            // Fails the receiver's integrity check and is discarded.
             miss = true;
           } else {
             const double jit = channel.downlink_jitter(d.to, d.track_id, frame);
@@ -288,15 +401,17 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
                   net::transfer_delay(d.bytes, cfg_.wireless.downlink_mbps,
                                       cfg_.wireless.base_latency) +
                   jit;
-              miss = delay > cfg_.fault.downlink_deadline;
+              if (delay > cfg_.fault.downlink_deadline) {
+                miss = true;
+                if (metrics != nullptr) {
+                  metrics->counter("net.downlink_deadline_miss").add();
+                }
+              }
             }
           }
         }
         if (miss) {
           ++downlink_missed;
-          if (metrics != nullptr) {
-            metrics->counter("net.downlink_deadline_miss").add();
-          }
           continue;
         }
         if (d.about != sim::kInvalidAgent) {
@@ -311,6 +426,12 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       down_meter.add(fo.downlink_bytes);
       m.coasted_track_frames += static_cast<int>(fo.coasting_tracks);
       m.stale_relevance_frames += static_cast<int>(fo.stale_candidates);
+      m.ingest_rejected_crc += static_cast<int>(fo.ingest.rejected_crc);
+      m.ingest_rejected_semantic +=
+          static_cast<int>(fo.ingest.rejected_semantic);
+      m.ingest_quarantined_vehicles +=
+          static_cast<int>(fo.ingest.quarantine_events);
+      m.ingest_shed_uploads += static_cast<int>(fo.ingest.shed_uploads);
 
       // --- Latency accounting ---
       const double t_upload =

@@ -135,6 +135,16 @@ struct MethodMetrics {
   int coasted_track_frames{0};
   /// Total accepted relevance candidates computed from stale tracks.
   int stale_relevance_frames{0};
+  // Ingest hardening (DESIGN.md §12; all zero when the edge's admission
+  // layer never engages).
+  /// Objects whose on-the-wire payload failed CRC/header validation.
+  int ingest_rejected_crc{0};
+  /// Frames/objects rejected by semantic admission checks.
+  int ingest_rejected_semantic{0};
+  /// Quarantine events (a repeat offender re-entering counts again).
+  int ingest_quarantined_vehicles{0};
+  /// Objects shed by the per-frame ingest point budget under overload.
+  int ingest_shed_uploads{0};
 };
 
 class SystemRunner {

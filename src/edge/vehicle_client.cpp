@@ -1,8 +1,10 @@
 #include "edge/vehicle_client.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <limits>
 
+#include "core/check.hpp"
 #include "obs/span.hpp"
 #include "pointcloud/ground_filter.hpp"
 
@@ -14,6 +16,15 @@ VehicleClient::VehicleClient(sim::AgentId vehicle, ClientConfig cfg)
     : vehicle_(vehicle), cfg_(cfg), extractor_(cfg.extractor) {}
 
 void VehicleClient::reset_pipeline() { extractor_.reset(); }
+
+void VehicleClient::require_finite_pose(const geom::Pose& pose) {
+  ERPD_REQUIRE(std::isfinite(pose.position.x) &&
+                   std::isfinite(pose.position.y) &&
+                   std::isfinite(pose.position.z) && std::isfinite(pose.yaw) &&
+                   std::isfinite(pose.pitch) && std::isfinite(pose.roll),
+               "VehicleClient: non-finite sensor pose at (", pose.position.x,
+               ", ", pose.position.y, ", ", pose.position.z, ")");
+}
 
 sim::AgentId VehicleClient::match_truth(
     const std::vector<sim::AgentSnapshot>& truth, geom::Vec2 centroid,
@@ -41,6 +52,7 @@ net::UploadFrame VehicleClient::make_upload(
   const sim::Vehicle* me = world.find_vehicle(vehicle_);
   if (me == nullptr) return frame;
   frame.pose = me->sensor_pose(world.network(), world.config().sensor_height);
+  require_finite_pose(frame.pose);
 
   const sim::LidarScan scan = world.scan_from(vehicle_);
   double processing_seconds = 0.0;

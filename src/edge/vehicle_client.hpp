@@ -79,6 +79,12 @@ class VehicleClient {
   /// derived from it would be garbage.
   void reset_pipeline();
 
+  /// Contract-check that a sensor pose is fully finite. make_upload refuses
+  /// to build an upload from a non-finite pose: every uploaded cloud is
+  /// world-framed through it, so a single NaN would silently poison the
+  /// whole frame downstream.
+  static void require_finite_pose(const geom::Pose& pose);
+
  private:
   sim::AgentId vehicle_;
   ClientConfig cfg_;

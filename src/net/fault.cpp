@@ -2,6 +2,17 @@
 
 namespace erpd::net {
 
+const char* to_string(CorruptionKind k) {
+  switch (k) {
+    case CorruptionKind::kNone: return "none";
+    case CorruptionKind::kBitFlip: return "bit-flip";
+    case CorruptionKind::kTruncate: return "truncate";
+    case CorruptionKind::kDuplicate: return "duplicate";
+    case CorruptionKind::kStaleReplay: return "stale-replay";
+  }
+  return "?";
+}
+
 double LossyChannel::uniform(std::uint64_t stream, std::uint64_t a,
                              std::uint64_t b) const {
   core::SplitMix64 gen(core::seed_mix(cfg_.seed, stream, a, b));
@@ -67,6 +78,54 @@ double LossyChannel::downlink_jitter(sim::AgentId to, int track_id,
   const double u =
       uniform(kDownlinkJitter, msg, static_cast<std::uint64_t>(frame));
   return -cfg_.jitter_mean * std::log1p(-u);
+}
+
+CorruptionKind LossyChannel::uplink_corruption(sim::AgentId vehicle,
+                                               int frame) const {
+  if (cfg_.uplink_corruption <= 0.0) return CorruptionKind::kNone;
+  const std::uint64_t v = static_cast<std::uint64_t>(vehicle);
+  const std::uint64_t f = static_cast<std::uint64_t>(frame);
+  if (uniform(kUplinkCorrupt, v, f) >= cfg_.uplink_corruption) {
+    return CorruptionKind::kNone;
+  }
+  // The kind comes from an independent word of the same stream so the
+  // Bernoulli decision and the mangle shape do not correlate.
+  const auto kind = static_cast<CorruptionKind>(
+      1 + corruption_word(vehicle, frame, /*salt=*/0) % 4);
+  if (uplink_corrupt_ctr_ != nullptr) uplink_corrupt_ctr_->add();
+  return kind;
+}
+
+bool LossyChannel::downlink_corrupted(sim::AgentId to, int track_id,
+                                      int frame) const {
+  if (cfg_.downlink_corruption <= 0.0) return false;
+  const std::uint64_t msg =
+      core::seed_mix(static_cast<std::uint64_t>(to),
+                     static_cast<std::uint64_t>(track_id));
+  const bool corrupted =
+      uniform(kDownlinkCorrupt, msg, static_cast<std::uint64_t>(frame)) <
+      cfg_.downlink_corruption;
+  if (corrupted && downlink_corrupt_ctr_ != nullptr) {
+    downlink_corrupt_ctr_->add();
+  }
+  return corrupted;
+}
+
+bool LossyChannel::is_byzantine(sim::AgentId vehicle, double t) const {
+  for (const Byzantine& b : cfg_.byzantine) {
+    if (b.vehicle == vehicle && t >= b.start) return true;
+  }
+  return false;
+}
+
+std::uint64_t LossyChannel::corruption_word(sim::AgentId vehicle, int frame,
+                                            std::uint64_t salt) const {
+  core::SplitMix64 gen(core::seed_mix(
+      cfg_.seed, kCorruptPayload,
+      core::seed_mix(static_cast<std::uint64_t>(vehicle),
+                     static_cast<std::uint64_t>(frame)),
+      salt));
+  return gen();
 }
 
 }  // namespace erpd::net

@@ -41,6 +41,28 @@ struct Disconnect {
   double duration{0.0};
 };
 
+/// A Byzantine (faulty, not merely lossy) sender: from `start` on, every
+/// upload frame this vehicle offers carries garbage — teleported poses and
+/// out-of-bounds object positions — that is structurally valid but
+/// semantically wrong. Exercises the edge admission layer (DESIGN.md §12):
+/// without quarantine, one such vehicle poisons tracking for everyone.
+struct Byzantine {
+  sim::AgentId vehicle{sim::kInvalidAgent};
+  double start{0.0};
+};
+
+/// How an upload payload was mangled on the wire. Drawn per (vehicle, frame)
+/// from a dedicated hash stream; kNone means this message was clean.
+enum class CorruptionKind : std::uint8_t {
+  kNone,
+  kBitFlip,      ///< random bits flipped inside the encoded payload
+  kTruncate,     ///< payload cut short mid-buffer
+  kDuplicate,    ///< the frame arrives twice
+  kStaleReplay,  ///< a previously sent frame arrives instead of this one
+};
+
+const char* to_string(CorruptionKind k);
+
 struct FaultConfig {
   /// Base seed for every fault stream. Two runs with the same seed and the
   /// same config draw identical schedules.
@@ -65,12 +87,24 @@ struct FaultConfig {
   /// second slots. Deterministic: the decision is a hash of the pair.
   double random_disconnect_rate{0.0};
   double disconnect_epoch{2.0};
+  /// Per-message Bernoulli probability that a *delivered* upload frame is
+  /// corrupted in transit (bit flips / truncation / duplication / stale
+  /// replay, kind drawn per message), in [0, 1]. Lost messages are never
+  /// also corrupted: each message has exactly one fate.
+  double uplink_corruption{0.0};
+  /// Same, for dissemination messages. A corrupted dissemination fails its
+  /// integrity check at the receiver and is discarded (counted once, as
+  /// corrupted — never additionally as a deadline miss).
+  double downlink_corruption{0.0};
+  /// Byzantine senders (see Byzantine above).
+  std::vector<Byzantine> byzantine;
 
   /// True when any fault mechanism can alter the lossless pipeline.
   bool active() const {
     return uplink_loss > 0.0 || downlink_loss > 0.0 || jitter_mean > 0.0 ||
            downlink_deadline > 0.0 || random_disconnect_rate > 0.0 ||
-           !outages.empty() || !disconnects.empty();
+           uplink_corruption > 0.0 || downlink_corruption > 0.0 ||
+           !outages.empty() || !disconnects.empty() || !byzantine.empty();
   }
 
   void validate() const {
@@ -109,6 +143,18 @@ struct FaultConfig {
                    "FaultConfig: disconnect duration must be >= 0, got ",
                    d.duration);
     }
+    ERPD_REQUIRE(uplink_corruption >= 0.0 && uplink_corruption <= 1.0,
+                 "FaultConfig: uplink_corruption must be in [0,1], got ",
+                 uplink_corruption);
+    ERPD_REQUIRE(downlink_corruption >= 0.0 && downlink_corruption <= 1.0,
+                 "FaultConfig: downlink_corruption must be in [0,1], got ",
+                 downlink_corruption);
+    for (const Byzantine& b : byzantine) {
+      ERPD_REQUIRE(b.vehicle != sim::kInvalidAgent,
+                   "FaultConfig: byzantine entry needs a valid vehicle id");
+      ERPD_REQUIRE(b.start >= 0.0,
+                   "FaultConfig: byzantine start must be >= 0, got ", b.start);
+    }
   }
 };
 
@@ -124,16 +170,24 @@ class LossyChannel {
   const FaultConfig& config() const { return cfg_; }
   bool active() const { return cfg_.active(); }
 
-  /// Cache loss counters from `registry` (null detaches). Each uplink_lost /
-  /// downlink_lost query that answers "lost" then bumps
-  /// net.uplink_lost_msgs / net.downlink_lost_msgs. Recording is write-only:
-  /// the fault decisions stay pure functions of (seed, stream, ids, frame).
+  /// Cache fault counters from `registry` (null detaches). Each
+  /// uplink_lost / downlink_lost query that answers "lost" then bumps
+  /// net.uplink_lost_msgs / net.downlink_lost_msgs, and each corruption
+  /// query that answers non-kNone bumps net.uplink_corrupted_msgs /
+  /// net.downlink_corrupted_msgs. Recording is write-only: the fault
+  /// decisions stay pure functions of (seed, stream, ids, frame).
   void attach_metrics(obs::MetricsRegistry* registry) {
     uplink_lost_ctr_ =
         registry != nullptr ? &registry->counter("net.uplink_lost_msgs")
                             : nullptr;
     downlink_lost_ctr_ =
         registry != nullptr ? &registry->counter("net.downlink_lost_msgs")
+                            : nullptr;
+    uplink_corrupt_ctr_ =
+        registry != nullptr ? &registry->counter("net.uplink_corrupted_msgs")
+                            : nullptr;
+    downlink_corrupt_ctr_ =
+        registry != nullptr ? &registry->counter("net.downlink_corrupted_msgs")
                             : nullptr;
   }
 
@@ -164,6 +218,29 @@ class LossyChannel {
   /// Exponential latency jitter for one dissemination message.
   double downlink_jitter(sim::AgentId to, int track_id, int frame) const;
 
+  /// How this vehicle's (delivered, non-Byzantine) upload frame is mangled
+  /// this frame; kNone means it arrives clean. The caller must only query
+  /// messages that survived uplink_lost so each message is billed exactly
+  /// one fate.
+  CorruptionKind uplink_corruption(sim::AgentId vehicle, int frame) const;
+
+  /// Should this (delivered) dissemination message arrive corrupted and be
+  /// discarded by the receiver's integrity check? The caller must only query
+  /// messages that survived downlink_lost.
+  bool downlink_corrupted(sim::AgentId to, int track_id, int frame) const;
+
+  /// True when `vehicle` is configured Byzantine at time `t`.
+  bool is_byzantine(sim::AgentId vehicle, double t) const;
+  bool has_byzantine() const { return !cfg_.byzantine.empty(); }
+  bool corruption_active() const { return cfg_.uplink_corruption > 0.0; }
+
+  /// Raw 64-bit word from the corruption-payload stream, for callers that
+  /// need deterministic mangle parameters (which bits to flip, where to cut)
+  /// beyond the Bernoulli decision. Pure function of (seed, vehicle, frame,
+  /// salt).
+  std::uint64_t corruption_word(sim::AgentId vehicle, int frame,
+                                std::uint64_t salt) const;
+
  private:
   // Stream tags keep the per-purpose hash streams disjoint.
   enum Stream : std::uint64_t {
@@ -172,6 +249,9 @@ class LossyChannel {
     kUplinkJitter = 0x3a17,
     kDownlinkJitter = 0x4b28,
     kRandomDisconnect = 0x5e39,
+    kUplinkCorrupt = 0x6f4a,
+    kDownlinkCorrupt = 0x7c5b,
+    kCorruptPayload = 0x8d6c,
   };
 
   /// Uniform [0, 1) draw, a pure function of (seed, stream, a, b).
@@ -180,6 +260,8 @@ class LossyChannel {
   FaultConfig cfg_;
   obs::Counter* uplink_lost_ctr_{nullptr};
   obs::Counter* downlink_lost_ctr_{nullptr};
+  obs::Counter* uplink_corrupt_ctr_{nullptr};
+  obs::Counter* downlink_corrupt_ctr_{nullptr};
 };
 
 }  // namespace erpd::net

@@ -35,6 +35,12 @@ struct ObjectUpload {
   std::size_t bytes{0};
   /// Decoded payload, world frame.
   pc::PointCloud cloud_world;
+  /// Actual on-the-wire buffer, populated only when the fault layer mangles
+  /// payloads (wire_present). The edge then validates it with pc::try_decode
+  /// instead of trusting cloud_world; on the clean path the buffer is never
+  /// materialized, so the lossless pipeline carries zero extra bytes.
+  pc::EncodedCloud wire{};
+  bool wire_present{false};
 };
 
 struct UploadFrame {

@@ -1,5 +1,6 @@
 #include "pointcloud/encoding.hpp"
 
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -11,6 +12,26 @@ namespace erpd::pc {
 namespace {
 
 constexpr std::size_t kHeaderBytes = kEncodedHeaderBytes;
+// Header layout (little-endian):
+//   [0, 4)   u32 point count
+//   [4, 8)   u32 CRC32 over bytes [0,4) + [8, end)
+//   [8, 16)  f64 resolution
+//   [16, 40) f64 origin x, y, z
+constexpr std::size_t kCrcOffset = 4;
+
+// Largest count for which encoded_size_bytes cannot overflow std::size_t.
+constexpr std::size_t kMaxPointCount =
+    (std::numeric_limits<std::size_t>::max() - kHeaderBytes) / kBytesPerPoint;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
 
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -44,15 +65,65 @@ std::uint16_t get_u16(const std::uint8_t* p) {
   return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
 }
 
+std::uint32_t crc32_update(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+/// CRC over everything except the checksum field itself.
+std::uint32_t buffer_crc(const std::vector<std::uint8_t>& bytes) {
+  std::uint32_t crc = 0xffffffffu;
+  crc = crc32_update(crc, bytes.data(), kCrcOffset);
+  crc = crc32_update(crc, bytes.data() + kCrcOffset + 4,
+                     bytes.size() - kCrcOffset - 4);
+  return crc ^ 0xffffffffu;
+}
+
 }  // namespace
 
+const char* to_string(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kTruncatedHeader: return "truncated-header";
+    case DecodeStatus::kSizeMismatch: return "size-mismatch";
+    case DecodeStatus::kBadChecksum: return "bad-checksum";
+    case DecodeStatus::kBadResolution: return "bad-resolution";
+    case DecodeStatus::kBadOrigin: return "bad-origin";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  return crc32_update(0xffffffffu, data, n) ^ 0xffffffffu;
+}
+
 std::size_t encoded_size_bytes(std::size_t point_count) {
+  ERPD_REQUIRE(point_count <= kMaxPointCount,
+               "encoded_size_bytes: point count ", point_count,
+               " would overflow the size computation");
   return kHeaderBytes + point_count * kBytesPerPoint;
 }
 
 EncodedCloud encode(const PointCloud& cloud, const EncodingConfig& cfg) {
   ERPD_REQUIRE(cfg.resolution > 0.0, "encode: resolution must be > 0, got ",
                cfg.resolution);
+  ERPD_REQUIRE(cloud.size() <= 0xffffffffull,
+               "encode: point count ", cloud.size(),
+               " exceeds the 32-bit wire counter");
   // Origin = min corner so all offsets are non-negative.
   geom::Vec3 origin{std::numeric_limits<double>::infinity(),
                     std::numeric_limits<double>::infinity(),
@@ -78,7 +149,8 @@ EncodedCloud encode(const PointCloud& cloud, const EncodingConfig& cfg) {
   EncodedCloud enc;
   enc.point_count = cloud.size();
   enc.bytes.reserve(encoded_size_bytes(cloud.size()));
-  put_u64(enc.bytes, cloud.size());
+  put_u32(enc.bytes, static_cast<std::uint32_t>(cloud.size()));
+  put_u32(enc.bytes, 0);  // CRC placeholder, patched below
   put_f64(enc.bytes, cfg.resolution);
   put_f64(enc.bytes, origin.x);
   put_f64(enc.bytes, origin.y);
@@ -91,35 +163,62 @@ EncodedCloud encode(const PointCloud& cloud, const EncodingConfig& cfg) {
     put_u16(enc.bytes, static_cast<std::uint16_t>(
                            std::llround((p.z - origin.z) / cfg.resolution)));
   }
+  const std::uint32_t crc = buffer_crc(enc.bytes);
+  for (int i = 0; i < 4; ++i) {
+    enc.bytes[kCrcOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
   return enc;
 }
 
-PointCloud decode(const EncodedCloud& enc) {
-  ERPD_REQUIRE(enc.bytes.size() >= kHeaderBytes,
-               "decode: truncated header (", enc.bytes.size(), " of ",
-               kHeaderBytes, " bytes)");
+DecodeResult try_decode(const EncodedCloud& enc) {
+  DecodeResult out;
+  if (enc.bytes.size() < kHeaderBytes) {
+    out.status = DecodeStatus::kTruncatedHeader;
+    return out;
+  }
   const std::uint8_t* p = enc.bytes.data();
-  const std::uint64_t count = get_u64(p);
+  const std::uint32_t count = get_u32(p);
+  out.point_count = count;
+  // A u32 count times the 6-byte stride cannot overflow 64-bit size math, so
+  // the exact-size check below is itself total.
+  if (enc.bytes.size() !=
+      kHeaderBytes + static_cast<std::size_t>(count) * kBytesPerPoint) {
+    out.status = DecodeStatus::kSizeMismatch;
+    return out;
+  }
+  if (get_u32(p + kCrcOffset) != buffer_crc(enc.bytes)) {
+    out.status = DecodeStatus::kBadChecksum;
+    return out;
+  }
   const double res = get_f64(p + 8);
+  if (!std::isfinite(res) || res <= 0.0) {
+    out.status = DecodeStatus::kBadResolution;
+    return out;
+  }
   const geom::Vec3 origin{get_f64(p + 16), get_f64(p + 24), get_f64(p + 32)};
-  // Reject counts whose payload size computation would overflow size_t.
-  ERPD_REQUIRE(count <= (std::numeric_limits<std::size_t>::max() - kHeaderBytes) /
-                            kBytesPerPoint,
-               "decode: implausible point count ", count);
-  ERPD_REQUIRE(enc.bytes.size() >= kHeaderBytes + count * kBytesPerPoint,
-               "decode: truncated payload (", enc.bytes.size(), " bytes for ",
-               count, " points)");
-  PointCloud out;
-  out.reserve(count);
+  if (!std::isfinite(origin.x) || !std::isfinite(origin.y) ||
+      !std::isfinite(origin.z)) {
+    out.status = DecodeStatus::kBadOrigin;
+    return out;
+  }
+  out.cloud.reserve(count);
   const std::uint8_t* q = p + kHeaderBytes;
-  for (std::uint64_t i = 0; i < count; ++i) {
+  for (std::uint32_t i = 0; i < count; ++i) {
     const double x = origin.x + res * get_u16(q);
     const double y = origin.y + res * get_u16(q + 2);
     const double z = origin.z + res * get_u16(q + 4);
-    out.push_back({x, y, z});
+    out.cloud.push_back({x, y, z});
     q += kBytesPerPoint;
   }
   return out;
+}
+
+PointCloud decode(const EncodedCloud& enc) {
+  DecodeResult r = try_decode(enc);
+  ERPD_REQUIRE(r.ok(), "decode: invalid buffer (", to_string(r.status), ", ",
+               enc.bytes.size(), " bytes, header count ", r.point_count, ")");
+  return std::move(r.cloud);
 }
 
 }  // namespace erpd::pc

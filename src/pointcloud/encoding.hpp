@@ -6,6 +6,12 @@
 // fixed resolution inside their bounding box and packed as 16-bit offsets.
 // This gives a realistic bytes-on-the-wire model for the bandwidth
 // experiments (Figs. 12 and 13) while staying fully self-contained.
+//
+// The wire format is defensible (DESIGN.md §12): the header carries a CRC32
+// over the rest of the buffer, and `try_decode` is a *total* function over
+// arbitrary bytes — it classifies malformed input through DecodeStatus and
+// never throws, crashes, or reads out of bounds. `decode` keeps the trusted
+// in-process signature and contract-checks that the buffer validates.
 
 #include <cstdint>
 #include <vector>
@@ -23,7 +29,7 @@ struct EncodingConfig {
 /// payloads (e.g. the uplink cap) stay in lockstep with the codec instead of
 /// hardcoding byte counts.
 inline constexpr std::size_t kEncodedHeaderBytes =
-    8 /*count*/ + 8 /*resolution*/ + 3 * 8 /*origin*/;
+    4 /*count*/ + 4 /*crc32*/ + 8 /*resolution*/ + 3 * 8 /*origin*/;
 inline constexpr std::size_t kBytesPerPoint = 6;  // 3 x uint16 offsets
 
 /// Serialized cloud: self-describing byte buffer.
@@ -34,16 +40,56 @@ struct EncodedCloud {
   std::size_t size_bytes() const { return bytes.size(); }
 };
 
-/// Encode a cloud. Throws std::invalid_argument if the cloud's extent exceeds
-/// what 16-bit offsets can address at the configured resolution (~1.3 km at
-/// 2 cm), which cannot happen for per-object clouds.
+/// Why a buffer failed (or passed) validation, from cheapest structural
+/// check to the semantic ones. Exactly one status per buffer: checks run in
+/// declaration order and the first failure wins.
+enum class DecodeStatus : std::uint8_t {
+  kOk,
+  kTruncatedHeader,  ///< fewer than kEncodedHeaderBytes bytes
+  kSizeMismatch,     ///< buffer size != header + count * stride
+  kBadChecksum,      ///< CRC32 over (header-sans-crc + payload) disagrees
+  kBadResolution,    ///< resolution non-finite or <= 0
+  kBadOrigin,        ///< any origin component non-finite
+};
+
+const char* to_string(DecodeStatus s);
+
+/// Result of validating + decoding an untrusted buffer.
+struct DecodeResult {
+  DecodeStatus status{DecodeStatus::kOk};
+  /// Decoded points; empty unless status == kOk.
+  PointCloud cloud;
+  /// Header point count (only meaningful when the header was readable).
+  std::size_t point_count{0};
+
+  bool ok() const { return status == DecodeStatus::kOk; }
+};
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+/// Exposed so tests and the ingest layer can recompute or deliberately break
+/// the checksum of a buffer.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+/// Encode a cloud. Contract-checks (ERPD_REQUIRE -> ContractViolation) that
+/// the resolution is positive, the point count fits the 32-bit wire counter,
+/// and the cloud's extent fits what 16-bit offsets can address at the
+/// configured resolution (~1.3 km at 2 cm) — none of which can fail for
+/// per-object clouds.
 EncodedCloud encode(const PointCloud& cloud, const EncodingConfig& cfg = {});
 
-/// Decode back to points. Lossy only up to the quantization resolution.
+/// Total validation + decode of an untrusted buffer. Never throws and never
+/// invokes UB, for arbitrary bytes: malformed input comes back as a non-kOk
+/// status with an empty cloud. Lossy only up to the quantization resolution.
+DecodeResult try_decode(const EncodedCloud& enc);
+
+/// Trusted-path decode: contract-checks that the buffer validates (use
+/// try_decode for anything that crossed a wire). Lossy only up to the
+/// quantization resolution.
 PointCloud decode(const EncodedCloud& enc);
 
 /// Size the encoder would produce without building the buffer (fast path for
-/// schedulers that only need data sizes).
+/// schedulers that only need data sizes). Contract-checks that the size
+/// computation cannot overflow for adversarial counts.
 std::size_t encoded_size_bytes(std::size_t point_count);
 
 }  // namespace erpd::pc

@@ -33,6 +33,8 @@ edge::RunnerConfig make_fault_runner(edge::Method method,
   rc.fault = fc.fault;
   rc.edge.staleness_decay = fc.staleness_decay;
   rc.edge.tracker.max_coast_frames = fc.max_coast_frames;
+  rc.edge.ingest.enabled = fc.harden_ingest;
+  rc.edge.ingest.point_budget_per_frame = fc.ingest_point_budget;
   return rc;
 }
 
@@ -43,6 +45,23 @@ CaseResult run_case(edge::Method method, const FaultCase& fc, double duration,
   if (fc.blackout_ego) {
     resolved.fault.disconnects.push_back(
         {sc.ego, fc.blackout_start, fc.blackout_duration});
+  }
+  if (fc.byzantine_vehicle) {
+    // Mark one connected background car Byzantine. Scripted vehicles (ego,
+    // threat, the observer trailing the threat, the follower) are created
+    // first and background traffic last, so walking the fleet in reverse
+    // finds a background car — the compliant scripted chain that carries the
+    // conflict warning stays honest.
+    const auto& vehicles = sc.world.vehicles();
+    for (auto it = vehicles.rbegin(); it != vehicles.rend(); ++it) {
+      if (!it->params().connected || it->params().parked) continue;
+      if (it->id() == sc.ego || it->id() == sc.threat ||
+          it->id() == sc.ego_follower) {
+        continue;
+      }
+      resolved.fault.byzantine.push_back({it->id(), fc.byzantine_start});
+      break;
+    }
   }
   edge::RunnerConfig rc = make_fault_runner(method, resolved);
   rc.duration = duration;
@@ -121,6 +140,37 @@ std::vector<FaultCase> default_fault_matrix() {
     c.band = {1.0, 0.90, 3.0};
     matrix.push_back(c);
   }
+  // Ingest-hardening cases (DESIGN.md §12). Appended after the PR 3 rows so
+  // existing index-based references keep their meaning.
+  {
+    // 5% payload corruption across the fleet plus one Byzantine background
+    // vehicle spewing teleported poses: the acceptance case for quarantine —
+    // the offender must be quarantined while the compliant scripted chain
+    // keeps the conflict warning flowing within the PR 3 bands.
+    FaultCase c;
+    c.name = "corrupt-5-byzantine";
+    c.fault.seed = 0xfa07;
+    c.fault.uplink_corruption = 0.05;
+    c.byzantine_vehicle = true;
+    c.byzantine_start = 0.5;
+    c.harden_ingest = true;
+    c.staleness_decay = 0.10;
+    c.max_coast_frames = 4;
+    c.band = {1.0, 0.90, 3.0};
+    matrix.push_back(c);
+  }
+  {
+    // No channel faults: pure ingest overload. The per-frame point budget
+    // sits below the fleet's typical demand, so shedding engages every frame
+    // and must degrade bandwidth, not safety.
+    FaultCase c;
+    c.name = "overload-shed";
+    c.fault.seed = 0xfa08;
+    c.harden_ingest = true;
+    c.ingest_point_budget = 600;
+    c.band = {1.0, 0.90, 3.0};
+    matrix.push_back(c);
+  }
   return matrix;
 }
 
@@ -187,6 +237,16 @@ std::uint64_t metrics_fingerprint(const edge::MethodMetrics& m) {
   h = fold(h, m.downlink_deadline_miss_ratio);
   h = fold(h, static_cast<std::uint64_t>(m.coasted_track_frames));
   h = fold(h, static_cast<std::uint64_t>(m.stale_relevance_frames));
+  // Ingest counters are folded only when the admission layer engaged, so
+  // clean-run fingerprints stay comparable with snapshots committed before
+  // the ingest layer existed (the golden seed-42 hash is one of them).
+  if (m.ingest_rejected_crc != 0 || m.ingest_rejected_semantic != 0 ||
+      m.ingest_quarantined_vehicles != 0 || m.ingest_shed_uploads != 0) {
+    h = fold(h, static_cast<std::uint64_t>(m.ingest_rejected_crc));
+    h = fold(h, static_cast<std::uint64_t>(m.ingest_rejected_semantic));
+    h = fold(h, static_cast<std::uint64_t>(m.ingest_quarantined_vehicles));
+    h = fold(h, static_cast<std::uint64_t>(m.ingest_shed_uploads));
+  }
   return h;
 }
 

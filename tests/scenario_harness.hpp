@@ -48,6 +48,16 @@ struct FaultCase {
   bool blackout_ego{false};
   double blackout_start{0.0};
   double blackout_duration{0.0};
+  /// Enable the edge ingest-hardening layer (semantic admission, quarantine,
+  /// shedding) for this case, with `ingest_point_budget` as the per-frame
+  /// point budget (0 = no shedding).
+  bool harden_ingest{false};
+  std::size_t ingest_point_budget{0};
+  /// When true, run_case marks one connected background vehicle (never the
+  /// scripted ego/threat/observer/follower) Byzantine from byzantine_start
+  /// on — again the concrete id only exists once the scenario is built.
+  bool byzantine_vehicle{false};
+  double byzantine_start{0.0};
   ToleranceBand band{};
 };
 
@@ -70,7 +80,8 @@ CaseResult run_case(edge::Method method, const FaultCase& fc,
                     double duration = 14.0, std::uint64_t seed = 42);
 
 /// The committed fault matrix: no faults / 10% loss / 30% loss /
-/// single-vehicle (ego) blackout / burst outage / latency jitter.
+/// single-vehicle (ego) blackout / burst outage / latency jitter /
+/// corruption + Byzantine sender / ingest overload shedding.
 std::vector<FaultCase> default_fault_matrix();
 
 /// JSON document for the CI artifact, built on the obs exporter: a

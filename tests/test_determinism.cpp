@@ -161,6 +161,11 @@ void expect_identical(const edge::MethodMetrics& a,
       << threads;
   EXPECT_EQ(a.coasted_track_frames, b.coasted_track_frames) << threads;
   EXPECT_EQ(a.stale_relevance_frames, b.stale_relevance_frames) << threads;
+  EXPECT_EQ(a.ingest_rejected_crc, b.ingest_rejected_crc) << threads;
+  EXPECT_EQ(a.ingest_rejected_semantic, b.ingest_rejected_semantic) << threads;
+  EXPECT_EQ(a.ingest_quarantined_vehicles, b.ingest_quarantined_vehicles)
+      << threads;
+  EXPECT_EQ(a.ingest_shed_uploads, b.ingest_shed_uploads) << threads;
 }
 
 TEST(Determinism, SystemRunnerOursIdenticalAcrossThreadCounts) {

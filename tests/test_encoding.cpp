@@ -2,7 +2,11 @@
 
 #include "core/check.hpp"
 
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <random>
+#include <vector>
 
 #include "pointcloud/encoding.hpp"
 
@@ -104,6 +108,175 @@ TEST(Encoding, NegativeCoordinatesSurvive) {
   const PointCloud d = decode(encode(c));
   EXPECT_NEAR(d[0].x, -100.0, 0.02);
   EXPECT_NEAR(d[1].z, -1.0, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Untrusted-buffer validation (DESIGN.md §12): try_decode must be a total
+// function — exactly one DecodeStatus per buffer, never a throw or UB.
+// ---------------------------------------------------------------------------
+
+/// Recompute and patch the header CRC after a test mutates other fields, so
+/// the mutation under test (and not kBadChecksum) decides the status.
+void refresh_crc(EncodedCloud& e) {
+  std::vector<std::uint8_t> covered(e.bytes.begin(), e.bytes.begin() + 4);
+  covered.insert(covered.end(), e.bytes.begin() + 8, e.bytes.end());
+  const std::uint32_t c = crc32(covered.data(), covered.size());
+  for (int i = 0; i < 4; ++i) {
+    e.bytes[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(c >> (8 * i));
+  }
+}
+
+void patch_f64(EncodedCloud& e, std::size_t offset, double d) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, &d, 8);
+  for (int i = 0; i < 8; ++i) {
+    e.bytes[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+TEST(TryDecode, ValidBufferRoundTrips) {
+  std::mt19937_64 rng(11);
+  const PointCloud c = random_cloud(64, 10.0, rng);
+  const DecodeResult r = try_decode(encode(c));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.point_count, c.size());
+  EXPECT_EQ(r.cloud.size(), c.size());
+}
+
+TEST(TryDecode, TruncatedHeaderAtEveryLength) {
+  std::mt19937_64 rng(12);
+  const EncodedCloud full = encode(random_cloud(8, 5.0, rng));
+  for (std::size_t n = 0; n < kEncodedHeaderBytes; ++n) {
+    EncodedCloud e;
+    e.bytes.assign(full.bytes.begin(), full.bytes.begin() + n);
+    EXPECT_EQ(try_decode(e).status, DecodeStatus::kTruncatedHeader) << n;
+  }
+}
+
+TEST(TryDecode, PayloadSizeMismatch) {
+  std::mt19937_64 rng(13);
+  const EncodedCloud full = encode(random_cloud(8, 5.0, rng));
+  // Truncated payload and trailing garbage both fail the exact-size check.
+  for (int delta : {-5, -1, 1, 7}) {
+    EncodedCloud e = full;
+    e.bytes.resize(static_cast<std::size_t>(
+        static_cast<long>(full.bytes.size()) + delta));
+    EXPECT_EQ(try_decode(e).status, DecodeStatus::kSizeMismatch) << delta;
+  }
+  // A lying count field (CRC dutifully recomputed) is still a size mismatch.
+  EncodedCloud lying = full;
+  lying.bytes[0] ^= 0x01;
+  refresh_crc(lying);
+  EXPECT_EQ(try_decode(lying).status, DecodeStatus::kSizeMismatch);
+  // A huge count cannot overflow the size check into acceptance.
+  EncodedCloud huge = full;
+  huge.bytes[0] = huge.bytes[1] = huge.bytes[2] = huge.bytes[3] = 0xff;
+  refresh_crc(huge);
+  EXPECT_EQ(try_decode(huge).status, DecodeStatus::kSizeMismatch);
+}
+
+TEST(TryDecode, FlippedBitFailsChecksum) {
+  std::mt19937_64 rng(14);
+  const EncodedCloud full = encode(random_cloud(32, 5.0, rng));
+  // One bit anywhere — count, resolution, origin, payload — breaks the CRC.
+  for (const std::size_t byte :
+       {std::size_t{9}, std::size_t{20}, kEncodedHeaderBytes + 3,
+        full.bytes.size() - 1}) {
+    EncodedCloud e = full;
+    e.bytes[byte] ^= 0x10;
+    EXPECT_EQ(try_decode(e).status, DecodeStatus::kBadChecksum) << byte;
+  }
+  // And so does tampering with the stored CRC itself.
+  EncodedCloud e = full;
+  e.bytes[5] ^= 0x01;
+  EXPECT_EQ(try_decode(e).status, DecodeStatus::kBadChecksum);
+}
+
+TEST(TryDecode, RejectsBadResolution) {
+  std::mt19937_64 rng(15);
+  for (const double res :
+       {0.0, -0.02, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    EncodedCloud e = encode(random_cloud(4, 2.0, rng));
+    patch_f64(e, 8, res);
+    refresh_crc(e);
+    EXPECT_EQ(try_decode(e).status, DecodeStatus::kBadResolution) << res;
+  }
+}
+
+TEST(TryDecode, RejectsNonFiniteOrigin) {
+  std::mt19937_64 rng(16);
+  for (const std::size_t offset : {std::size_t{16}, std::size_t{24},
+                                   std::size_t{32}}) {
+    EncodedCloud e = encode(random_cloud(4, 2.0, rng));
+    patch_f64(e, offset, std::numeric_limits<double>::quiet_NaN());
+    refresh_crc(e);
+    EXPECT_EQ(try_decode(e).status, DecodeStatus::kBadOrigin) << offset;
+  }
+}
+
+TEST(TryDecode, DecodeContractChecksTheSameValidation) {
+  std::mt19937_64 rng(17);
+  EncodedCloud e = encode(random_cloud(8, 5.0, rng));
+  e.bytes[10] ^= 0x04;
+  EXPECT_THROW(decode(e), erpd::ContractViolation);
+}
+
+// Structure-aware fuzz: 10k seeded cases over random bytes and mutated
+// valid buffers. The invariant is totality — try_decode classifies every
+// input without throwing, and only kOk yields points. Runs under ASan+UBSan
+// in the CI fuzz-smoke lane, where out-of-bounds reads would trap.
+TEST(TryDecode, FuzzNeverThrowsOnArbitraryBytes) {
+  std::mt19937_64 rng(0xf422);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int iter = 0; iter < 10000; ++iter) {
+    EncodedCloud e;
+    switch (iter % 4) {
+      case 0: {  // pure random bytes, random length
+        const std::size_t n = rng() % 400;
+        e.bytes.resize(n);
+        for (auto& b : e.bytes) b = static_cast<std::uint8_t>(byte(rng));
+        break;
+      }
+      case 1: {  // valid buffer with random bit flips
+        PointCloud c = random_cloud(static_cast<int>(rng() % 50), 8.0, rng);
+        e = encode(c);
+        const int flips = 1 + static_cast<int>(rng() % 8);
+        for (int k = 0; k < flips && !e.bytes.empty(); ++k) {
+          e.bytes[rng() % e.bytes.size()] ^=
+              static_cast<std::uint8_t>(1u << (rng() % 8));
+        }
+        break;
+      }
+      case 2: {  // valid buffer truncated or extended at a random cut
+        PointCloud c = random_cloud(static_cast<int>(rng() % 50), 8.0, rng);
+        e = encode(c);
+        e.bytes.resize(rng() % (e.bytes.size() + 32));
+        break;
+      }
+      default: {  // two valid buffers spliced at a random offset
+        PointCloud a = random_cloud(static_cast<int>(rng() % 30), 8.0, rng);
+        PointCloud b = random_cloud(static_cast<int>(rng() % 30), 8.0, rng);
+        const EncodedCloud ea = encode(a);
+        const EncodedCloud eb = encode(b);
+        const std::size_t cut = rng() % (ea.bytes.size() + 1);
+        e.bytes.assign(ea.bytes.begin(),
+                       ea.bytes.begin() + static_cast<long>(cut));
+        e.bytes.insert(e.bytes.end(), eb.bytes.begin(), eb.bytes.end());
+        break;
+      }
+    }
+    DecodeResult r;
+    ASSERT_NO_THROW(r = try_decode(e)) << "iter " << iter;
+    if (r.ok()) {
+      EXPECT_EQ(r.cloud.size(), r.point_count) << "iter " << iter;
+    } else {
+      EXPECT_TRUE(r.cloud.empty()) << "iter " << iter;
+    }
+  }
 }
 
 }  // namespace

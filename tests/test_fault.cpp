@@ -171,6 +171,110 @@ TEST(LossyChannel, RandomDisconnectIsStablePerEpoch) {
   EXPECT_LT(off_epochs, 40);
 }
 
+TEST(FaultConfig, CorruptionAndByzantineCountAsActive) {
+  FaultConfig cfg;
+  cfg.uplink_corruption = 0.05;
+  EXPECT_TRUE(cfg.active());
+  cfg = {};
+  cfg.downlink_corruption = 0.05;
+  EXPECT_TRUE(cfg.active());
+  cfg = {};
+  cfg.byzantine.push_back({4, 1.0});
+  EXPECT_TRUE(cfg.active());
+}
+
+TEST(FaultConfig, ValidateRejectsBadCorruptionValues) {
+  FaultConfig cfg;
+  cfg.uplink_corruption = 1.5;
+  EXPECT_THROW(cfg.validate(), erpd::ContractViolation);
+  cfg = {};
+  cfg.downlink_corruption = -0.1;
+  EXPECT_THROW(cfg.validate(), erpd::ContractViolation);
+  cfg = {};
+  cfg.byzantine.push_back({sim::kInvalidAgent, 0.0});
+  EXPECT_THROW(cfg.validate(), erpd::ContractViolation);
+  cfg = {};
+  cfg.byzantine.push_back({3, -1.0});
+  EXPECT_THROW(cfg.validate(), erpd::ContractViolation);
+}
+
+TEST(LossyChannel, InactiveChannelNeverCorrupts) {
+  const LossyChannel ch{FaultConfig{}};
+  EXPECT_FALSE(ch.corruption_active());
+  EXPECT_FALSE(ch.has_byzantine());
+  for (int frame = 0; frame < 50; ++frame) {
+    EXPECT_EQ(ch.uplink_corruption(3, frame), CorruptionKind::kNone);
+    EXPECT_FALSE(ch.downlink_corrupted(3, 7, frame));
+    EXPECT_FALSE(ch.is_byzantine(3, 0.1 * frame));
+  }
+}
+
+TEST(LossyChannel, CorruptionScheduleIsAPureFunctionOfTheSeed) {
+  FaultConfig cfg;
+  cfg.seed = 77;
+  cfg.uplink_corruption = 0.3;
+  cfg.downlink_corruption = 0.2;
+  const LossyChannel a(cfg);
+  const LossyChannel b(cfg);
+  // Query order must not matter: each decision depends only on
+  // (seed, stream, entity, frame).
+  for (int frame = 99; frame >= 0; --frame) {
+    for (sim::AgentId v : {1, 5, 17}) {
+      EXPECT_EQ(a.uplink_corruption(v, frame), b.uplink_corruption(v, frame));
+      EXPECT_EQ(a.downlink_corrupted(v, 3, frame),
+                b.downlink_corrupted(v, 3, frame));
+      EXPECT_EQ(a.corruption_word(v, frame, 2), b.corruption_word(v, frame, 2));
+    }
+  }
+}
+
+TEST(LossyChannel, CorruptionRateMatchesNominalAndCoversEveryKind) {
+  FaultConfig cfg;
+  cfg.seed = 31;
+  cfg.uplink_corruption = 0.25;
+  const LossyChannel ch(cfg);
+  int corrupted = 0;
+  int kind_seen[5] = {};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const CorruptionKind k = ch.uplink_corruption(i % 16, i / 16);
+    ++kind_seen[static_cast<int>(k)];
+    if (k != CorruptionKind::kNone) ++corrupted;
+  }
+  EXPECT_NEAR(static_cast<double>(corrupted) / n, 0.25, 0.02);
+  // All four corruption kinds appear; kNone only for uncorrupted draws.
+  for (int k = 1; k < 5; ++k) {
+    EXPECT_GT(kind_seen[k], 0) << to_string(static_cast<CorruptionKind>(k));
+  }
+}
+
+TEST(LossyChannel, CorruptionStreamIsIndependentOfTheLossStream) {
+  // Same seed, loss-only vs. loss+corruption: the drop schedule must be
+  // byte-identical, so enabling corruption cannot perturb which messages
+  // are lost (separate stream tags).
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.uplink_loss = 0.3;
+  const LossyChannel plain(cfg);
+  cfg.uplink_corruption = 0.3;
+  const LossyChannel mixed(cfg);
+  for (int frame = 0; frame < 200; ++frame) {
+    EXPECT_EQ(plain.uplink_lost(4, frame, 0.0),
+              mixed.uplink_lost(4, frame, 0.0));
+  }
+}
+
+TEST(LossyChannel, ByzantineWindowStartsAtConfiguredTime) {
+  FaultConfig cfg;
+  cfg.byzantine.push_back({9, 2.0});
+  const LossyChannel ch(cfg);
+  EXPECT_TRUE(ch.has_byzantine());
+  EXPECT_FALSE(ch.is_byzantine(9, 1.99));
+  EXPECT_TRUE(ch.is_byzantine(9, 2.0));
+  EXPECT_TRUE(ch.is_byzantine(9, 100.0));  // Byzantine forever once turned
+  EXPECT_FALSE(ch.is_byzantine(8, 5.0));   // other vehicles unaffected
+}
+
 TEST(LossyChannel, JitterIsNonNegativeWithRoughlyTheConfiguredMean) {
   FaultConfig cfg;
   cfg.seed = 21;

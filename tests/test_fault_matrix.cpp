@@ -112,5 +112,36 @@ TEST_F(FaultMatrix, JitterProducesDeadlineMisses) {
   EXPECT_LT(m.downlink_deadline_miss_ratio, 1.0);
 }
 
+TEST_F(FaultMatrix, CorruptionCaseQuarantinesTheByzantineVehicle) {
+  const harness::CaseResult& r = find("corrupt-5-byzantine");
+  // The case resolved exactly one Byzantine background vehicle.
+  ASSERT_EQ(r.fcase.fault.byzantine.size(), 1u);
+  const edge::MethodMetrics& m = r.metrics;
+  // Corrupted wire payloads are caught by the CRC/structure check, the
+  // Byzantine teleports by the semantic check, and the repeat offender ends
+  // up quarantined — the PR acceptance criterion.
+  EXPECT_GT(m.ingest_rejected_crc, 0);
+  EXPECT_GT(m.ingest_rejected_semantic, 0);
+  EXPECT_GT(m.ingest_quarantined_vehicles, 0);
+  // Meanwhile the compliant scripted chain keeps the warning flowing: the
+  // band check above already enforces ego_safe and the key-distance floor.
+  EXPECT_TRUE(m.ego_safe);
+}
+
+TEST_F(FaultMatrix, OverloadCaseShedsWithoutLosingSafety) {
+  const edge::MethodMetrics& m = find("overload-shed").metrics;
+  // The 600-point budget sits far below fleet demand, so shedding engages
+  // heavily — but it sheds the smallest clouds first, so tracking of the
+  // scripted conflict survives (band check enforces the safety floor).
+  EXPECT_GT(m.ingest_shed_uploads, 0);
+  // Pure overload: nobody misbehaves, so no quarantines or rejections.
+  EXPECT_EQ(m.ingest_rejected_crc, 0);
+  EXPECT_EQ(m.ingest_rejected_semantic, 0);
+  EXPECT_EQ(m.ingest_quarantined_vehicles, 0);
+  // Shedding reduces admitted objects relative to the clean run.
+  EXPECT_LT(m.avg_objects_detected,
+            find("no-faults").metrics.avg_objects_detected);
+}
+
 }  // namespace
 }  // namespace erpd

@@ -182,6 +182,10 @@ TEST(Schema, MethodMetricsKeysMatchGolden) {
       "downlink_deadline_miss_ratio",
       "coasted_track_frames",
       "stale_relevance_frames",
+      "ingest_rejected_crc",
+      "ingest_rejected_semantic",
+      "ingest_quarantined_vehicles",
+      "ingest_shed_uploads",
   };
   EXPECT_EQ(edge::method_metrics_keys(), golden);
 }

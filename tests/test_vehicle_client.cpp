@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "core/check.hpp"
 #include "edge/vehicle_client.hpp"
 
 namespace erpd::edge {
@@ -131,6 +134,25 @@ TEST(VehicleClient, MissingVehicleYieldsEmptyFrame) {
   VehicleClient client(9999, {});
   const net::UploadFrame f = client.make_upload(rig.world, nullptr, 0);
   EXPECT_TRUE(f.objects.empty());
+}
+
+TEST(VehicleClient, RefusesNonFinitePose) {
+  // A NaN SLAM pose must die at the sender (contract check), not get shipped
+  // to the edge — edge-side admission is the defense against *other* senders.
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  geom::Pose pose;
+  EXPECT_NO_THROW(VehicleClient::require_finite_pose(pose));
+  pose.position.x = kNan;
+  EXPECT_THROW(VehicleClient::require_finite_pose(pose),
+               erpd::ContractViolation);
+  pose = {};
+  pose.yaw = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(VehicleClient::require_finite_pose(pose),
+               erpd::ContractViolation);
+  pose = {};
+  pose.roll = kNan;
+  EXPECT_THROW(VehicleClient::require_finite_pose(pose),
+               erpd::ContractViolation);
 }
 
 }  // namespace

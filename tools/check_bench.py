@@ -7,6 +7,12 @@ half the committed value (2x headroom absorbs runner-hardware variance while
 still catching order-of-magnitude pipeline regressions), and the run must
 have been deterministic.
 
+When both artifacts carry a per-method "behavior_fingerprint" and were run
+in the same mode, the fingerprints must match *bit-for-bit*: the bench runs
+fault-free (corruption off), so any drift means simulated behavior changed —
+a tripwire for silent codec/pipeline changes, independent of hardware speed.
+Baselines predating the fingerprint are skipped for back-compat.
+
 Usage: check_bench.py <fresh.json> <baseline.json>
 """
 
@@ -49,6 +55,21 @@ def main(argv):
             failures.append(
                 f"{name}: sensing_points_per_sec {got:.1f} < floor {floor:.1f}"
             )
+
+        base_fp = b.get("behavior_fingerprint")
+        fresh_fp = m.get("behavior_fingerprint")
+        same_mode = fresh.get("quick") == base.get("quick")
+        if base_fp and fresh_fp and same_mode:
+            fp_status = "ok" if fresh_fp == base_fp else "DRIFT"
+            print(
+                f"{name:10s} behavior_fingerprint {fresh_fp}"
+                f" (baseline {base_fp}) {fp_status}"
+            )
+            if fresh_fp != base_fp:
+                failures.append(
+                    f"{name}: behavior fingerprint {fresh_fp} != baseline"
+                    f" {base_fp} - simulated behavior drifted"
+                )
 
     for msg in failures:
         print(f"check_bench: FAIL - {msg}", file=sys.stderr)
