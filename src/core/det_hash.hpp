@@ -1,0 +1,80 @@
+#pragma once
+// Seed-perturbable hasher for the determinism torture suite.
+//
+// Any unordered container that legitimately remains in an output-influencing
+// path (its iteration annotated ERPD_ORDER_INSENSITIVE, see core/detlint.hpp)
+// should key its hasher off DetHash instead of std::hash. In production the
+// seed is 0 and DetHash is a fixed splitmix64 finalizer — stable across
+// platforms, unlike std::hash, whose identity-hash-plus-prime-buckets layout
+// differs between libstdc++ and libc++. Under test, ERPD_DETLINT_SHUFFLE=<n>
+// (or core::set_det_hash_seed) perturbs the seed, scrambling bucket layout
+// and therefore iteration order; the determinism suite then asserts that the
+// seed-42 decision stream and metrics fingerprints are unchanged, pinning
+// that no simulated output depends on hash order.
+//
+// The seed is read once per hasher construction (one relaxed atomic load per
+// container, zero per hash call), so the hot-path cost over std::hash is a
+// single mix64.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "core/rng.hpp"
+
+namespace erpd::core {
+
+namespace detail {
+
+inline constexpr std::uint64_t kDetHashSeedUnset = ~std::uint64_t{0};
+
+inline std::atomic<std::uint64_t>& det_hash_seed_slot() {
+  // detlint: D4 test-only hash-shuffle seed; it perturbs bucket layout only
+  // and is never read by any code that produces simulated output.
+  static std::atomic<std::uint64_t> slot{kDetHashSeedUnset};
+  return slot;
+}
+
+}  // namespace detail
+
+/// Current hash-shuffle seed: 0 in production, nonzero when the determinism
+/// torture is active. Latches ERPD_DETLINT_SHUFFLE from the environment on
+/// first use.
+inline std::uint64_t det_hash_seed() {
+  auto& slot = detail::det_hash_seed_slot();
+  std::uint64_t s = slot.load(std::memory_order_relaxed);
+  if (s == detail::kDetHashSeedUnset) {
+    const char* env = std::getenv("ERPD_DETLINT_SHUFFLE");
+    s = 0;
+    if (env != nullptr && *env != '\0') {
+      const std::uint64_t v = std::strtoull(env, nullptr, 10);
+      if (v != 0) s = mix64(v);
+    }
+    slot.store(s, std::memory_order_relaxed);
+  }
+  return s;
+}
+
+/// Test hook: override the shuffle seed in-process (takes effect for
+/// containers constructed after the call). 0 restores production hashing.
+inline void set_det_hash_seed(std::uint64_t seed) {
+  detail::det_hash_seed_slot().store(seed, std::memory_order_relaxed);
+}
+
+/// Deterministic, platform-stable hasher for integral keys. Containers using
+/// DetHash get identical bucket layout on every standard library — and a
+/// *scrambled* layout under the determinism torture (see file comment).
+template <typename Key>
+struct DetHash {
+  DetHash() : seed_(det_hash_seed()) {}
+
+  std::size_t operator()(const Key& k) const {
+    return static_cast<std::size_t>(
+        mix64(static_cast<std::uint64_t>(k) ^ seed_));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace erpd::core

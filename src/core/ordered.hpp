@@ -1,0 +1,48 @@
+#pragma once
+// Sorted-snapshot iteration over hash-ordered containers.
+//
+// Iterating std::unordered_map in an output-influencing path is a latent
+// golden break: bucket layout (and thus visitation order) differs between
+// standard libraries and shifts on rehash. detlint rule D1 flags every such
+// loop in src/. Where the fold does not commute, the fix is to iterate a
+// sorted snapshot of the keys — O(n log n), but these maps are small
+// (per-frame fleets, per-agent tallies) — or to switch the container to
+// std::map outright when lookups are not hot.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace erpd::core {
+
+/// Keys of any associative container, ascending. The returned vector is a
+/// deterministic iteration schedule regardless of the container's internal
+/// order.
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  // ERPD_ORDER_INSENSITIVE: collecting keys into a vector that is sorted
+  // immediately after — the visit order cannot survive into the result.
+  for (const auto& kv : m) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// (key, value) snapshot of any associative container, ascending by key.
+/// Values are copied; intended for small maps on cold paths (exporters,
+/// per-frame registries), not hot inner loops.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(m.size());
+  // ERPD_ORDER_INSENSITIVE: snapshot is fully sorted before anyone reads it.
+  for (const auto& kv : m) items.emplace_back(kv.first, kv.second);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace erpd::core

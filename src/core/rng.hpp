@@ -8,6 +8,7 @@
 // stream a pure function of the unit — identical for any thread count.
 
 #include <cstdint>
+#include <random>
 
 namespace erpd::core {
 
@@ -42,5 +43,14 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// The one sanctioned construction site for sequential generators (detlint
+/// rule D2): every std::mt19937_64 in src/ must be built here, from a seed
+/// that is a pure function of configuration (scenario seed, entity id, tick
+/// — typically via seed_mix). Constructing generators ad hoc is how
+/// wall-clock or address entropy sneaks into simulated outputs.
+inline std::mt19937_64 seeded_rng(std::uint64_t seed) {
+  return std::mt19937_64{seed};
+}
 
 }  // namespace erpd::core

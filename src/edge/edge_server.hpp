@@ -11,7 +11,6 @@
 // (Unlimited).
 
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "core/dissemination.hpp"
@@ -139,7 +138,11 @@ class EdgeServer {
     double last_seen{0.0};
     bool has_prev{false};
   };
-  std::unordered_map<sim::AgentId, VehicleInfo> fleet_;
+  /// Ordered by AgentId (detlint D1): process_frame iterates the fleet when
+  /// building candidates, so the registry's iteration order feeds straight
+  /// into the dissemination decision stream — it must be a pure function of
+  /// the key set, never of hash-bucket layout.
+  std::map<sim::AgentId, VehicleInfo> fleet_;
 
   std::vector<track::Detection> build_detections(
       const std::vector<net::UploadFrame>& uploads,

@@ -18,7 +18,7 @@
 // lossless pipeline is untouched.
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/message.hpp"
@@ -114,7 +114,11 @@ class IngestGuard {
   void note_offense(VehicleState& vs, double t, IngestStats* stats);
 
   IngestConfig cfg_;
-  std::unordered_map<sim::AgentId, VehicleState> vehicles_;
+  /// Ordered by AgentId (detlint D1): today only keyed lookups, but the
+  /// multi-edge sharding arc will migrate and enumerate this state, and an
+  /// ordered container makes any future iteration deterministic by
+  /// construction instead of hash-layout dependent.
+  std::map<sim::AgentId, VehicleState> vehicles_;
   obs::Counter* rejected_crc_ctr_{nullptr};
   obs::Counter* rejected_semantic_ctr_{nullptr};
   obs::Counter* quarantined_ctr_{nullptr};

@@ -1,6 +1,5 @@
 #include "edge/vehicle_client.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -9,8 +8,6 @@
 #include "pointcloud/ground_filter.hpp"
 
 namespace erpd::edge {
-
-using Clock = std::chrono::steady_clock;
 
 VehicleClient::VehicleClient(sim::AgentId vehicle, ClientConfig cfg)
     : vehicle_(vehicle), cfg_(cfg), extractor_(cfg.extractor) {}

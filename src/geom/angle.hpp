@@ -36,7 +36,11 @@ double circular_mean(It first, It last) {
     sy += std::sin(*it);
     any = true;
   }
-  if (!any || (sx == 0.0 && sy == 0.0)) return 0.0;
+  // Exact-zero vector sum means the mean direction is undefined; atan2(0, 0)
+  // would return an arbitrary-but-valid angle, so pin it to 0 instead. An
+  // exact comparison is the point here: any nonzero residual, however tiny,
+  // defines a direction.
+  if (!any || (sx == 0.0 && sy == 0.0)) return 0.0;  // lint-ok: R6 degenerate-input check
   return std::atan2(sy, sx);
 }
 

@@ -13,8 +13,10 @@ std::string_view build_git_sha() { return ERPD_GIT_SHA; }
 
 Fingerprint& Fingerprint::fold(double v) {
   // +0.0 and -0.0 compare equal but differ bitwise; canonicalize so equal
-  // configs fingerprint equally.
-  if (v == 0.0) v = 0.0;
+  // configs fingerprint equally. Detected at the bit level (lint rule R6:
+  // no floating-point ==), which also leaves NaN payloads untouched.
+  constexpr std::uint64_t kNegativeZeroBits = std::uint64_t{1} << 63;
+  if (std::bit_cast<std::uint64_t>(v) == kNegativeZeroBits) v = 0.0;
   return fold(std::bit_cast<std::uint64_t>(v));
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "core/detlint.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 #include "geom/angle.hpp"
@@ -103,7 +104,8 @@ LidarScan LidarSensor::scan(const geom::Pose& pose,
   // Per-chunk accumulation, merged in chunk (= azimuth) order afterwards.
   struct ChunkOut {
     std::vector<Vec3> points;
-    std::unordered_map<AgentId, std::size_t> points_per_agent;
+    std::unordered_map<AgentId, std::size_t, core::DetHash<AgentId>>
+        points_per_agent;
     std::size_t ground_points{0};
     std::size_t static_points{0};
   };
@@ -177,12 +179,21 @@ LidarScan LidarSensor::scan(const geom::Pose& pose,
         }
       });
 
-  // Deterministic reduction: concatenate chunk outputs in azimuth order.
+  // Deterministic reduction: chunk outputs are visited in chunk (= ascending
+  // azimuth) order, so the concatenated cloud is byte-identical to the
+  // serial scan for any worker count.
   std::size_t total = 0;
   for (const ChunkOut& co : chunks) total += co.points.size();
   out.cloud.reserve(total);
   for (const ChunkOut& co : chunks) {
     for (const Vec3& p : co.points) out.cloud.push_back(p);
+    // Within one chunk the per-agent tallies are visited in hash order,
+    // which is fine: the fold is a per-key += of unsigned counts, and
+    // addition into distinct map slots commutes — every visitation order
+    // yields the same final map. The chunk loop around it is ordered, so
+    // the only unordered step is this provably commutative one.
+    ERPD_ORDER_INSENSITIVE(
+        "per-key += of unsigned counts into distinct slots commutes");
     for (const auto& [id, n] : co.points_per_agent) {
       out.points_per_agent[id] += n;
     }

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/det_hash.hpp"
 #include "geom/mat4.hpp"
 #include "geom/obb.hpp"
 #include "pointcloud/pointcloud.hpp"
@@ -60,8 +61,13 @@ struct LidarScan {
   /// Returns in the sensor frame (x forward at yaw=0 ... standard right-
   /// handed frame; z up, sensor at origin).
   pc::PointCloud cloud;
-  /// Number of returns per dynamic agent id (ids >= 0 only).
-  std::unordered_map<AgentId, std::size_t> points_per_agent;
+  /// Number of returns per dynamic agent id (ids >= 0 only). Consumers do
+  /// keyed lookups (sees()) or commutative folds only — never order-bearing
+  /// iteration — so a hash map is safe here; core::DetHash makes the bucket
+  /// layout platform-stable and lets the determinism torture scramble it
+  /// (ERPD_DETLINT_SHUFFLE) to prove no output depends on it.
+  std::unordered_map<AgentId, std::size_t, core::DetHash<AgentId>>
+      points_per_agent;
   std::size_t ground_points{0};
   std::size_t static_points{0};
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "core/rng.hpp"
 #include "geom/angle.hpp"
 
 namespace erpd::sim {
@@ -214,7 +215,7 @@ Scenario make_unprotected_left_turn(const ScenarioConfig& cfg) {
   World& world = sc.world;
   const RoadNetwork& net = world.network();
   const double speed = kmh_to_ms(cfg.speed_kmh);
-  std::mt19937_64 rng(cfg.seed * 7919 + 13);
+  std::mt19937_64 rng = core::seeded_rng(cfg.seed * 7919 + 13);
 
   add_corner_buildings(world);
   add_street_walls(world);
@@ -287,7 +288,7 @@ Scenario make_red_light_violation(const ScenarioConfig& cfg) {
   World& world = sc.world;
   const RoadNetwork& net = world.network();
   const double speed = kmh_to_ms(cfg.speed_kmh);
-  std::mt19937_64 rng(cfg.seed * 104729 + 17);
+  std::mt19937_64 rng = core::seeded_rng(cfg.seed * 104729 + 17);
 
   add_corner_buildings(world);
   add_street_walls(world);
@@ -365,7 +366,7 @@ Scenario make_occluded_pedestrian(const ScenarioConfig& cfg) {
   World& world = sc.world;
   const RoadNetwork& net = world.network();
   const double speed = kmh_to_ms(cfg.speed_kmh);
-  std::mt19937_64 rng(cfg.seed * 6151 + 29);
+  std::mt19937_64 rng = core::seeded_rng(cfg.seed * 6151 + 29);
 
   add_corner_buildings(world);
   add_street_walls(world);

@@ -17,7 +17,7 @@ World::World(RoadNetwork network, WorldConfig cfg)
       cfg_(cfg),
       signals_(cfg.signal),
       lidar_(cfg.lidar),
-      rng_(cfg.seed) {}
+      rng_(core::seeded_rng(cfg.seed)) {}
 
 AgentId World::add_vehicle(const VehicleParams& params, int route_id,
                            double start_s, double start_speed) {
@@ -408,7 +408,7 @@ LidarScan World::scan_from(AgentId vehicle_id) const {
   // is a pure function of who scans when, never of which other vehicles
   // scanned first — scans can run concurrently and stay deterministic.
   const auto tick = static_cast<std::uint64_t>(std::llround(time_ / cfg_.dt));
-  std::mt19937_64 scan_rng(core::seed_mix(
+  std::mt19937_64 scan_rng = core::seeded_rng(core::seed_mix(
       cfg_.seed, static_cast<std::uint64_t>(vehicle_id), tick));
   return lidar_.scan(v->sensor_pose(net_, cfg_.sensor_height), targets,
                      scan_rng);

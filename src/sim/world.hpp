@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <random>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/agent.hpp"
@@ -133,6 +133,10 @@ class World {
   WorldConfig cfg_;
   SignalController signals_;
   LidarSensor lidar_;
+  // detlint: D2 the world's single sequential stream (agent spawning and
+  // other strictly-ordered draws); seeded once from WorldConfig::seed via
+  // core::seeded_rng in the constructor. Concurrent stages never touch it —
+  // they derive per-unit SplitMix64 streams instead.
   std::mt19937_64 rng_;
   double time_{0.0};
   AgentId next_id_{0};
@@ -146,16 +150,22 @@ class World {
   std::vector<StaticObstacle> statics_;
 
   std::vector<CollisionEvent> collisions_;
-  std::unordered_map<std::uint64_t, double> pair_min_dist_;
+  /// Ordered by pair key (detlint D1): metrics consumers may enumerate the
+  /// observed pairs, and an ordered container keeps any such walk — and the
+  /// safety numbers derived from it — independent of hash-bucket layout.
+  /// The per-tick O(pairs) keyed lookups are cheap at fleet sizes where the
+  /// O(n^2) pair update is itself affordable.
+  std::map<std::uint64_t, double> pair_min_dist_;
   double global_min_distance_{std::numeric_limits<double>::infinity()};
 
   /// Recent speed history per vehicle for delayed-perception following.
-  std::unordered_map<AgentId, std::deque<std::pair<double, double>>> speed_hist_;
+  /// Ordered by AgentId (detlint D1), as above.
+  std::map<AgentId, std::deque<std::pair<double, double>>> speed_hist_;
   /// Recent car-following acceleration commands per vehicle. Inattentive
   /// drivers apply the command computed one reaction time ago (classical
   /// human output delay), which is what makes them rear-end a hard-braking
   /// leader from a short gap (paper §III-A.2).
-  std::unordered_map<AgentId, std::deque<std::pair<double, double>>>
+  std::map<AgentId, std::deque<std::pair<double, double>>>
       follow_accel_hist_;
 
   /// Geometric conflict between a vehicle's route and a hazard's projected

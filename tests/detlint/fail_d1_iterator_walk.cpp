@@ -1,0 +1,9 @@
+// detlint fixture: rule D1 must fire on explicit iterator walks too, not
+// just range-fors. Not compiled.
+#include <unordered_set>
+
+int first_key(const std::unordered_set<int>& live) {
+  std::unordered_set<int> snapshot = live;
+  auto it = snapshot.begin();  // D1: "first" element is hash-layout chance
+  return it == snapshot.end() ? -1 : *it;
+}

@@ -1,0 +1,22 @@
+// detlint fixture: rule D1 must fire.
+//
+// Iterating a hash container in an output-influencing path is exactly the
+// libc++-vs-libstdc++ golden break detlint exists to prevent: bucket layout
+// (and with it visitation order) is an implementation detail that shifts on
+// rehash. Not compiled — consumed by tools/detlint.py --self-test.
+#include <cstddef>
+#include <unordered_map>
+
+struct Registry {
+  std::unordered_map<int, double> scores_;
+
+  double ranked_sum() const {
+    double acc = 0.0;
+    int rank = 1;
+    for (const auto& [id, score] : scores_) {  // D1: order-bearing fold
+      acc += score / rank;  // rank depends on visitation order
+      ++rank;
+    }
+    return acc;
+  }
+};

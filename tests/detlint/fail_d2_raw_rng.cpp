@@ -1,0 +1,13 @@
+// detlint fixture: rule D2 must fire.
+//
+// Ad-hoc generator construction is how nondeterministic entropy enters the
+// pipeline. Sequential generators come from core::seeded_rng; concurrent
+// units derive SplitMix64 streams from (seed, entity, frame). Not compiled.
+#include <random>
+
+double sample_noise() {
+  std::random_device rd;         // D2: hardware entropy
+  std::mt19937_64 rng(rd());     // D2: direct construction outside rng.hpp
+  std::normal_distribution<double> n(0.0, 1.0);
+  return n(rng);
+}

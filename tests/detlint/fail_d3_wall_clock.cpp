@@ -1,0 +1,13 @@
+// detlint fixture: rule D3 must fire.
+//
+// A wall clock read outside src/obs/ and bench/ means wall time can leak
+// into simulated outputs — replay of the same seed then diverges. Not
+// compiled.
+#include <chrono>
+
+double staleness_penalty(double last_update_s) {
+  const auto now = std::chrono::steady_clock::now();  // D3
+  const double t =
+      std::chrono::duration<double>(now.time_since_epoch()).count();
+  return t - last_update_s;
+}

@@ -1,0 +1,14 @@
+// detlint fixture: rule D4 must fire.
+//
+// Hidden mutable statics make results depend on call order across frames
+// and on which thread got there first — both invisible to replay. Not
+// compiled.
+
+int next_track_id() {
+  static int counter = 0;  // D4: call-order-dependent state
+  return ++counter;
+}
+
+thread_local int tl_scratch = 0;  // D4: thread-identity-dependent state
+
+int bump_scratch() { return ++tl_scratch; }

@@ -1,0 +1,21 @@
+// detlint fixture: rule D5 must fire.
+//
+// Accumulating a float across parallel iterations is doubly wrong: a data
+// race, and — even if atomic — a schedule-dependent summation order, and FP
+// addition does not associate. Accumulate per chunk and reduce in
+// chunk-index order instead. Not compiled.
+#include <cstddef>
+#include <vector>
+
+namespace core {
+template <typename F>
+void parallel_for(std::size_t n, std::size_t grain, F&& f);
+}
+
+double total_range(const std::vector<double>& ranges) {
+  double sum = 0.0;
+  core::parallel_for(ranges.size(), 64, [&](std::size_t i) {
+    sum += ranges[i];  // D5: schedule-dependent FP accumulation
+  });
+  return sum;
+}

@@ -1,0 +1,12 @@
+// detlint fixture: rule D6 must fire.
+//
+// A pointer-keyed ordered container iterates in address order, and
+// allocation addresses differ run to run — ASLR alone breaks replay. Key on
+// a stable id instead. Not compiled.
+#include <map>
+
+struct Track {
+  int id;
+};
+
+double best_score(const std::map<const Track*, double>& scores);  // D6

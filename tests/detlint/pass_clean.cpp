@@ -1,0 +1,37 @@
+// detlint fixture: must be clean.
+//
+// Idiomatic deterministic code: ordered containers for anything iterated,
+// keyed lookups against hash containers (lookups are order-free), and
+// sorted-snapshot iteration where a hash container must be walked. Not
+// compiled.
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Fleet {
+  std::map<int, double> relevance_by_vehicle;          // ordered: safe to walk
+  std::unordered_map<int, std::size_t> points_by_id;   // lookups only
+
+  double total_relevance() const {
+    double sum = 0.0;
+    for (const auto& [vid, rel] : relevance_by_vehicle) sum += rel;
+    return sum;
+  }
+
+  bool sees(int id) const {
+    const auto it = points_by_id.find(id);
+    return it != points_by_id.end() && it->second >= 3;
+  }
+
+  std::vector<int> visible_ids() const {
+    std::vector<int> ids;
+    ids.reserve(points_by_id.size());
+    // ERPD_ORDER_INSENSITIVE: keys are collected then fully sorted; the
+    // visitation order cannot survive into the result.
+    for (const auto& [id, n] : points_by_id) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+};

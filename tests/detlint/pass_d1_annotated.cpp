@@ -1,0 +1,26 @@
+// detlint fixture: must be clean.
+//
+// The sanctioned way to keep a hash container in an output path: the fold
+// over it provably commutes, and the site says so. This mirrors the
+// LidarScan::points_per_agent chunk merge in src/sim/lidar.cpp. Not
+// compiled.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+struct ChunkTally {
+  std::unordered_map<int, std::size_t> counts;
+};
+
+std::unordered_map<int, std::size_t> merge(
+    const std::vector<ChunkTally>& chunks) {
+  std::unordered_map<int, std::size_t> out;
+  for (const ChunkTally& c : chunks) {  // chunk-index order: deterministic
+    // ERPD_ORDER_INSENSITIVE: per-key += of unsigned counts into distinct
+    // slots commutes; every visitation order yields the same final map.
+    for (const auto& [id, n] : c.counts) {
+      out[id] += n;
+    }
+  }
+  return out;
+}

@@ -1,0 +1,21 @@
+// detlint fixture: must be clean.
+//
+// Line-level suppressions with a stated justification are the escape hatch
+// for sites a reviewer has argued through. An empty justification is itself
+// a finding (see fail fixtures' sibling rule in tools/detlint.py). Not
+// compiled.
+#include <random>
+
+std::mt19937_64 make_legacy_stream() {
+  // detlint: D2 fixture exemplar — seed is a compile-time constant, stream
+  // is bit-identical on every run and platform.
+  std::mt19937_64 rng(0x5eed);
+  return rng;
+}
+
+int frame_counter() {
+  // detlint: D4 fixture exemplar — written once before any worker starts,
+  // read-only afterwards.
+  static int warmup_frames = 3;
+  return warmup_frames;
+}

@@ -9,6 +9,7 @@
 
 #include <random>
 
+#include "core/det_hash.hpp"
 #include "core/thread_pool.hpp"
 #include "edge/system_runner.hpp"
 #include "pointcloud/dbscan.hpp"
@@ -234,6 +235,49 @@ TEST(Determinism, FaultMatrixIdenticalAcrossThreadCounts) {
       EXPECT_EQ(harness::metrics_fingerprint(got), ref_fp)
           << fc.name << " @ " << t << " threads";
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-hasher torture (detlint D1 companion): every unordered container
+// that survives in the pipeline does so under an ERPD_ORDER_INSENSITIVE
+// annotation claiming its iteration order cannot reach simulated output.
+// This test *attacks* that claim: core::set_det_hash_seed scrambles the
+// bucket layout of every DetHash-keyed container constructed afterwards
+// (ERPD_DETLINT_SHUFFLE=<n> is the env-var route to the same switch), so if
+// any annotated fold secretly depended on visitation order, the seed-42
+// fingerprint would drift here.
+// ---------------------------------------------------------------------------
+
+/// Restores production hashing when a test exits.
+struct HashSeedGuard {
+  ~HashSeedGuard() { core::set_det_hash_seed(0); }
+};
+
+std::uint64_t seed42_fingerprint() {
+  sim::Scenario sc = sim::make_unprotected_left_turn(
+      harness::default_intersection(42));
+  edge::RunnerConfig rc = edge::make_runner_config(edge::Method::kOurs);
+  rc.duration = 4.0;
+  edge::SystemRunner runner(rc);
+  return harness::metrics_fingerprint(runner.run(sc));
+}
+
+TEST(Determinism, FingerprintImmuneToHashSeedShuffle) {
+  PoolGuard pool_guard;
+  HashSeedGuard hash_guard;
+  core::set_thread_count(2);  // chunk merge path must be active
+
+  core::set_det_hash_seed(0);
+  const std::uint64_t ref = seed42_fingerprint();
+
+  for (const std::uint64_t shuffle :
+       {std::uint64_t{0x9e3779b97f4a7c15}, std::uint64_t{1},
+        std::uint64_t{0xdeadbeefcafef00d}}) {
+    core::set_det_hash_seed(core::mix64(shuffle));
+    EXPECT_EQ(seed42_fingerprint(), ref)
+        << "hash-order dependence leaked into simulated output (shuffle seed "
+        << shuffle << ")";
   }
 }
 

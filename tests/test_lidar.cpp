@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <random>
 
+#include "core/thread_pool.hpp"
 #include "geom/angle.hpp"
 #include "sim/lidar.hpp"
 
@@ -132,6 +134,60 @@ TEST(Lidar, PointBudgetMatchesConfig) {
   std::mt19937_64 rng(9);
   const LidarScan scan = lidar.scan(sensor_at({0.0, 0.0}), {}, rng);
   EXPECT_LE(scan.cloud.size(), cfg.max_points());
+}
+
+// The points_per_agent map is merged across parallel scan chunks with an
+// ERPD_ORDER_INSENSITIVE per-key += fold (src/sim/lidar.cpp). That fold is
+// only sound if the per-agent tallies partition the scan's dynamic returns
+// exactly: every dynamic point counted once, no point counted twice, no
+// worker-count dependence. Ground and static-scenery returns are tallied
+// separately, so the identity under test is
+//   sum(points_per_agent) == cloud.size() - ground_points - static_points
+// at every worker count the determinism suite exercises.
+TEST(Lidar, PerAgentCountsPartitionDynamicReturns) {
+  LidarSensor lidar(small_lidar());
+  const std::vector<LidarTarget> targets = {
+      {Obb{{10.0, 0.0}, 0.0, 4.5, 1.9}, 0.0, 1.6, 1},    // near car
+      {Obb{{25.0, 8.0}, 0.5, 4.5, 1.9}, 0.0, 1.6, 2},    // angled car
+      {Obb{{18.0, -6.0}, 0.0, 0.5, 0.5}, 0.0, 1.75, 3},  // pedestrian
+      {Obb{{30.0, -12.0}, 0.0, 20.0, 8.0}, 0.0, 9.0, -4},  // building
+  };
+
+  LidarScan reference;
+  bool have_reference = false;
+  for (const int workers : {1, 2, 8}) {
+    core::set_thread_count(workers);
+    std::mt19937_64 rng(42);
+    const LidarScan scan = lidar.scan(sensor_at({0.0, 0.0}), targets, rng);
+
+    std::size_t dynamic_total = 0;
+    for (const auto& [id, n] : scan.points_per_agent) {
+      EXPECT_GE(id, 0) << "static scenery id leaked into points_per_agent";
+      dynamic_total += n;
+    }
+    EXPECT_EQ(dynamic_total,
+              scan.cloud.size() - scan.ground_points - scan.static_points)
+        << "per-agent tallies must partition dynamic returns at " << workers
+        << " workers";
+    EXPECT_GT(dynamic_total, 0u);
+
+    if (!have_reference) {
+      reference = scan;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(scan.cloud.size(), reference.cloud.size());
+      EXPECT_EQ(scan.ground_points, reference.ground_points);
+      EXPECT_EQ(scan.static_points, reference.static_points);
+      EXPECT_EQ(scan.points_per_agent.size(), reference.points_per_agent.size());
+      for (const auto& [id, n] : reference.points_per_agent) {
+        const auto it = scan.points_per_agent.find(id);
+        ASSERT_NE(it, scan.points_per_agent.end());
+        EXPECT_EQ(it->second, n)
+            << "agent " << id << " count drifted at " << workers << " workers";
+      }
+    }
+  }
+  core::set_thread_count(0);
 }
 
 TEST(LineOfSight, ClearAndBlocked) {

@@ -12,6 +12,11 @@
 #       binaries (bench/, examples/) do the printing
 #   R3  every header starts with `#pragma once`
 #   R4  no `using namespace std;`
+#   R5  no `#include <iostream>` in src/ headers — it drags in static init
+#       (std::ios_base::Init) for every TU and invites R2 violations
+#   R6  no float == / != against a float literal — exact comparison of
+#       computed floats is almost always a latent nondeterminism bug; the
+#       rare sanctioned site carries `// lint-ok: R6 <reason>` on the line
 #
 # clang-tidy runs against the compile database (build/compile_commands.json,
 # generated automatically by CMake via CMAKE_EXPORT_COMPILE_COMMANDS). When
@@ -93,6 +98,28 @@ for f in "${SOURCES[@]}"; do
     done < /tmp/lint_hits.$$
   fi
   rm -f /tmp/lint_hits.$$
+
+  # R6: exact float comparison against a float literal. Matched on the raw
+  # line (not comment-stripped) so the `// lint-ok: R6 <reason>` suppression
+  # can be seen; the grep itself only fires on code because a literal-vs-
+  # operator pattern does not occur in our comment prose.
+  case "$f" in
+    src/*)
+      if grep -nE '(==|!=)[[:space:]]*-?[0-9]+\.[0-9]|[0-9]\.[0-9]*f?[[:space:]]*(==|!=)' "$f" \
+          > /tmp/lint_hits.$$ 2>/dev/null; then
+        while IFS= read -r hit; do
+          line_text="${hit#*:}"
+          [[ "$line_text" == *"lint-ok: R6"* ]] && continue  # sanctioned site
+          # Drop hits where the match sits inside a trailing comment.
+          stripped="${line_text%%//*}"
+          if printf '%s' "$stripped" | grep -qE '(==|!=)[[:space:]]*-?[0-9]+\.[0-9]|[0-9]\.[0-9]*f?[[:space:]]*(==|!=)'; then
+            fail "R6 exact float comparison in $f:${hit%%:*}: ${stripped}"
+          fi
+        done < /tmp/lint_hits.$$
+      fi
+      rm -f /tmp/lint_hits.$$
+      ;;
+  esac
 done
 
 # R3: headers must open with #pragma once (first non-empty, non-comment line).
@@ -101,6 +128,19 @@ for f in "${HEADERS[@]}"; do
   if [[ "$first" != "#pragma once" ]]; then
     fail "R3 header $f does not start with '#pragma once'"
   fi
+
+  # R5: <iostream> in library headers.
+  case "$f" in
+    src/*)
+      if strip_comments "$f" | grep -nE '#[[:space:]]*include[[:space:]]*<iostream>' \
+          > /tmp/lint_hits.$$ 2>/dev/null; then
+        while IFS= read -r hit; do
+          fail "R5 '#include <iostream>' in header $f:${hit%%:*}"
+        done < /tmp/lint_hits.$$
+      fi
+      rm -f /tmp/lint_hits.$$
+      ;;
+  esac
 done
 
 # ------------------------------------------------------------------ clang-tidy
