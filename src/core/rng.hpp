@@ -7,7 +7,9 @@
 // (base seed, unit id, tick, ...) via a splitmix64-style mixer, making the
 // stream a pure function of the unit — identical for any thread count.
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <random>
 
 namespace erpd::core {
@@ -42,6 +44,141 @@ class SplitMix64 {
 
  private:
   std::uint64_t state_;
+};
+
+/// Gaussian sampler that is draw-for-draw bit-identical to libstdc++'s
+/// std::normal_distribution<double> (Marsaglia polar method) but ~2x faster
+/// per draw for full-width 64-bit generators.
+///
+/// Why it is identical: std::normal_distribution pulls uniforms through
+/// std::generate_canonical<double, 53>. For a generator whose range is
+/// exactly 2^64 (SplitMix64, mt19937_64) that routine reduces to one draw:
+///   sum = double(g());  ret = sum / 2^64;  if (ret >= 1) ret = prev(1)
+/// Both the uint64->double conversion and the division by a power of two
+/// round once each, so computing `double(g()) * 0x1p-64` produces the same
+/// bits. The polar rejection loop below then mirrors the libstdc++ source
+/// operation-for-operation (including the saved-deviate cache and the final
+/// `ret * sigma + mean` order), so the accept/reject decisions and every
+/// emitted double match. What we skip is generate_canonical's per-draw
+/// bookkeeping — notably an 80-bit `log(range)/log(2)` it recomputes on
+/// every call — which dominates its cost.
+///
+/// Guarded by a static_assert on the generator's range; the exactness is
+/// also locked down by tests/test_rng.cpp against std::normal_distribution.
+class NormalSampler {
+ public:
+  explicit NormalSampler(double mean = 0.0, double sigma = 1.0)
+      : mean_(mean), sigma_(sigma) {}
+
+  template <typename Urbg>
+  double operator()(Urbg& g) {
+    static_assert(Urbg::min() == 0 &&
+                      Urbg::max() == std::numeric_limits<std::uint64_t>::max(),
+                  "NormalSampler requires a full-width 64-bit generator "
+                  "(the canonical-draw reduction assumes range == 2^64)");
+    double ret;
+    if (saved_available_) {
+      saved_available_ = false;
+      ret = saved_;
+    } else {
+      double x, y, r2;
+      do {
+        x = 2.0 * canonical(g) - 1.0;
+        y = 2.0 * canonical(g) - 1.0;
+        r2 = x * x + y * y;
+        // libstdc++'s exact rejection test, replicated verbatim:
+      } while (r2 > 1.0 || r2 == 0.0);  // lint-ok: R6 polar-method reject
+      const double mult = std::sqrt(-2 * std::log(r2) / r2);
+      saved_ = x * mult;
+      saved_available_ = true;
+      ret = y * mult;
+    }
+    ret = ret * sigma_ + mean_;
+    return ret;
+  }
+
+  /// Batched draw: writes to out[0..n) exactly the values n sequential
+  /// operator() calls would produce, consuming the generator identically
+  /// (including the saved-deviate cache on entry and exit). The point is
+  /// instruction-level parallelism: operator()'s serial chain puts a
+  /// log+sqrt between every other draw, while here the rejection loop runs
+  /// with cheap generator arithmetic only and the transcendentals of up to
+  /// kBatchPairs accepted pairs are evaluated back-to-back with no data
+  /// dependence between them — ~2-3x faster per draw. Each individual
+  /// value's arithmetic is unchanged (no reassociation, no fusing), so the
+  /// output is bit-identical; tests/test_rng.cpp locks this down.
+  template <typename Urbg>
+  void fill(Urbg& g, double* out, std::size_t n) {
+    std::size_t k = 0;
+    if (saved_available_ && k < n) {
+      saved_available_ = false;
+      out[k++] = saved_ * sigma_ + mean_;
+    }
+    constexpr std::size_t kBatchPairs = 32;
+    double xs[kBatchPairs];
+    double ys[kBatchPairs];
+    double r2s[kBatchPairs];
+    while (k < n) {
+      const std::size_t pairs = std::min(kBatchPairs, (n - k + 1) / 2);
+      for (std::size_t i = 0; i < pairs; ++i) {
+        double x, y, r2;
+        do {
+          x = 2.0 * canonical(g) - 1.0;
+          y = 2.0 * canonical(g) - 1.0;
+          r2 = x * x + y * y;
+        } while (r2 > 1.0 || r2 == 0.0);  // lint-ok: R6 polar-method reject
+        xs[i] = x;
+        ys[i] = y;
+        r2s[i] = r2;
+      }
+      for (std::size_t i = 0; i < pairs; ++i) {
+        const double r2 = r2s[i];
+        const double mult = std::sqrt(-2 * std::log(r2) / r2);
+        // Unscaled products, exactly as operator() computes them; the
+        // sigma/mean affine map is applied at write-out (and for a trailing
+        // saved deviate, at its eventual return), matching the scalar path.
+        xs[i] = xs[i] * mult;
+        ys[i] = ys[i] * mult;
+      }
+      for (std::size_t i = 0; i < pairs; ++i) {
+        out[k++] = ys[i] * sigma_ + mean_;
+        if (k < n) {
+          out[k++] = xs[i] * sigma_ + mean_;
+        } else {
+          saved_ = xs[i];
+          saved_available_ = true;
+        }
+      }
+    }
+  }
+
+ private:
+  template <typename Urbg>
+  static double canonical(Urbg& g) {
+    const std::uint64_t u = g();
+    // Same value as `double(u) * 0x1p-64` (what generate_canonical computes)
+    // but branchless: baseline x86-64 has no uint64->double instruction, so
+    // the direct conversion compiles to a sign-bit branch that mispredicts
+    // half the time on random input. Splitting into 32-bit halves uses two
+    // exact (branchless) conversions and two exact power-of-two scalings;
+    // the single add then rounds the mathematically exact hi*2^-32 +
+    // lo*2^-64 = u*2^-64 once — the same round-to-nearest result as
+    // converting u first (rounding commutes with exact scaling).
+    const double r =
+        static_cast<double>(static_cast<std::uint32_t>(u >> 32)) * 0x1p-32 +
+        static_cast<double>(static_cast<std::uint32_t>(u)) * 0x1p-64;
+    // double(2^64 - k) for small k rounds up to 2^64, making r == 1.0;
+    // generate_canonical clamps that open-interval violation the same way.
+    if (r >= 1.0) [[unlikely]] {
+      return std::nextafter(1.0, 0.0);
+    }
+    return r;
+  }
+
+  double mean_{0.0};
+  double sigma_{1.0};
+  double saved_{0.0};
+  bool saved_available_{false};
 };
 
 /// The one sanctioned construction site for sequential generators (detlint

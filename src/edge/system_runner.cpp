@@ -303,18 +303,22 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       const std::vector<sim::AgentSnapshot> truth = world.snapshot();
       uploads.resize(site_ids.size());
       std::vector<ClientFrameStats> stats(site_ids.size());
-      double sensing_wall = 0.0;
       {
-        obs::StageSpan sense_span(metrics, "stage.sense", &sensing_wall);
+        // stage.fanout: wall time of the whole parallel sensing+extraction
+        // region. The per-vehicle scan and extraction costs are recorded
+        // inside make_upload (stage.sense / stage.extract).
+        obs::StageSpan fanout_span(metrics, "stage.fanout");
         core::parallel_for(site_ids.size(), 1, [&](std::size_t i) {
           uploads[i] = clients.at(site_ids[i])
                            .make_upload(world, &voronoi, i, &stats[i], &truth);
         });
       }
       double max_extract = 0.0;
+      double sensing_wall = 0.0;  // summed per-vehicle scan time (CPU cost)
       std::size_t raw_points = 0;
       for (const ClientFrameStats& s : stats) {
         max_extract = std::max(max_extract, s.processing_seconds);
+        sensing_wall += s.sensing_seconds;
         raw_points += s.raw_points;
       }
 

@@ -40,7 +40,10 @@ struct FrameTrace {
   std::size_t raw_points{0};    ///< LiDAR returns across the fleet
   std::size_t offered_bytes{0};   ///< uplink bytes before the shared cap
   std::size_t delivered_bytes{0}; ///< uplink bytes after the cap
-  /// Wall time for the whole sensing+extraction fan-out (all vehicles).
+  /// Host wall time summed over each vehicle's LiDAR scan — the sensor
+  /// alone, excluding extraction (which is stage.extract) and the fan-out's
+  /// scheduling overhead (stage.fanout). Denominator of the bench's
+  /// sensing_points_per_sec.
   double sensing_wall_seconds{0.0};
   /// Slowest single vehicle's extraction time (the simulated-latency term).
   double extract_max_seconds{0.0};
@@ -70,9 +73,10 @@ struct RunnerConfig {
   std::function<void(int frame, const std::vector<net::Dissemination>&)>
       on_decisions;
   /// Optional observability registry (not owned). When set, the runner wires
-  /// it through every layer it drives — clients (stage.extract), the edge
-  /// server (stage.merge/track/relevance/disseminate), the lossy channel and
-  /// the uplink cap — and records its own stage.sense/upload/downlink/e2e
+  /// it through every layer it drives — clients (stage.sense /
+  /// stage.extract), the edge server
+  /// (stage.merge/track/relevance/disseminate), the lossy channel and
+  /// the uplink cap — and records its own stage.fanout/upload/downlink/e2e
   /// spans, byte/loss counters and thread-pool gauges. Recording is
   /// write-only: a run with metrics attached produces bit-identical
   /// simulated outputs to one without.

@@ -38,9 +38,10 @@ struct ClientConfig {
   /// agent for harness bookkeeping.
   double truth_match_radius{2.5};
   /// Optional observability registry (not owned). make_upload records its
-  /// extraction time into stage.extract and bumps client.raw_points /
-  /// client.upload_bytes — from whichever pool worker runs the client, which
-  /// is why the registry must be shareable across threads.
+  /// scan time into stage.sense, its extraction time into stage.extract,
+  /// and bumps client.raw_points / client.upload_bytes — from whichever
+  /// pool worker runs the client, which is why the registry must be
+  /// shareable across threads.
   obs::MetricsRegistry* metrics{nullptr};
 };
 
@@ -48,6 +49,9 @@ struct ClientFrameStats {
   std::size_t raw_points{0};
   std::size_t uploaded_points{0};
   std::size_t uploaded_bytes{0};
+  /// Wall-clock seconds spent in the simulated LiDAR scan alone — the
+  /// denominator of the bench's sensing_points_per_sec.
+  double sensing_seconds{0.0};
   /// Wall-clock seconds spent in local processing (the paper's Moving
   /// Object Extraction runtime).
   double processing_seconds{0.0};

@@ -69,18 +69,6 @@ Mat4 Mat4::operator*(const Mat4& o) const {
   return r;
 }
 
-Vec3 Mat4::transform_point(Vec3 p) const {
-  return {at(0, 0) * p.x + at(0, 1) * p.y + at(0, 2) * p.z + at(0, 3),
-          at(1, 0) * p.x + at(1, 1) * p.y + at(1, 2) * p.z + at(1, 3),
-          at(2, 0) * p.x + at(2, 1) * p.y + at(2, 2) * p.z + at(2, 3)};
-}
-
-Vec3 Mat4::transform_direction(Vec3 d) const {
-  return {at(0, 0) * d.x + at(0, 1) * d.y + at(0, 2) * d.z,
-          at(1, 0) * d.x + at(1, 1) * d.y + at(1, 2) * d.z,
-          at(2, 0) * d.x + at(2, 1) * d.y + at(2, 2) * d.z};
-}
-
 Mat4 Mat4::rigid_inverse() const {
   // For T = [R | t; 0 1], T^-1 = [R^T | -R^T t; 0 1].
   Mat4 r;

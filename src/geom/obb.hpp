@@ -4,6 +4,9 @@
 // collision detection between agents.
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "geom/aabb.hpp"
 #include "geom/segment.hpp"
@@ -54,6 +57,55 @@ class Obb {
   double heading_{0.0};
   double length_{0.0};
   double width_{0.0};
+};
+
+/// Structure-of-arrays ray-cast context for many boxes sharing one ray
+/// origin (the LiDAR eye), built once per scan. Per box it precomputes the
+/// four edge segments — hoisting the sincos-heavy corners() out of the
+/// per-ray path — and whether the eye is inside the box.
+///
+/// ray_hit(i, ray) is bit-identical to boxes[i].ray_hit(ray) for any ray
+/// anchored at the eye passed to add(): the edges come from the same
+/// corners() math and the per-edge test applies the same intersect()
+/// arithmetic, so every intermediate double matches the scalar path's.
+/// (With ERPD_LIDAR_SIMD the four edge tests run as one AVX2 lane set over
+/// the SoA arrays instead, lane-for-lane the same mul/sub/div sequence;
+/// see obb.cpp.)
+class ObbRaySoa {
+ public:
+  void clear() {
+    edges_.clear();
+    eye_inside_.clear();
+    edge_ax_.clear();
+    edge_ay_.clear();
+    edge_sx_.clear();
+    edge_sy_.clear();
+  }
+
+  /// Append `box`, precomputing its edges and the eye-containment flag.
+  void add(const Obb& box, Vec2 eye);
+
+  std::size_t size() const { return eye_inside_.size(); }
+
+  /// True if the eye given to add() was inside box i — such boxes return a
+  /// hit at t = 0 for every ray, with no edge tests needed.
+  bool eye_inside(std::size_t i) const { return eye_inside_[i] != 0; }
+
+  /// First intersection parameter of `ray` with box i's boundary (negative
+  /// if it misses); bit-identical to Obb::ray_hit for rays from the eye.
+  double ray_hit(std::size_t i, const Segment& ray) const;
+
+ private:
+  std::vector<Segment> edges_;  // 4 per box, contiguous
+  std::vector<std::uint8_t> eye_inside_;
+  /// The same edges in SoA form — endpoint a and direction s = b - a, one
+  /// contiguous 4-lane group per box — so a vector kernel can load a whole
+  /// box with four unaligned loads. Filled unconditionally (16 doubles per
+  /// box is noise next to the corners() trig) to keep this header free of
+  /// ERPD_LIDAR_SIMD conditionals: the flag is a PRIVATE definition of the
+  /// geom target, and a flag-dependent class layout would be an ODR trap
+  /// for every other TU that includes this file.
+  std::vector<double> edge_ax_, edge_ay_, edge_sx_, edge_sy_;
 };
 
 }  // namespace erpd::geom

@@ -5,6 +5,8 @@
 // computed by intersecting predicted path segments; the collision-area math
 // needs segment/circle crossings to find passing intervals.
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 
 #include "geom/vec2.hpp"
@@ -28,13 +30,58 @@ struct SegmentIntersection {
   double t_second{0.0};
 };
 
-/// Proper/touching intersection of two segments. Collinear overlapping
-/// segments report the first overlapping point of `first`.
-std::optional<SegmentIntersection> intersect(const Segment& first,
-                                             const Segment& second);
-
 /// Distance from point `p` to the segment, and the closest point parameter.
 double point_segment_distance(Vec2 p, const Segment& s, double* t_out = nullptr);
+
+/// Proper/touching intersection of two segments. Collinear overlapping
+/// segments report the first overlapping point of `first`.
+///
+/// Defined inline: the LiDAR ray caster folds this over box edges and only
+/// consumes t_first, so inlining lets the compiler drop the intersection
+/// point math entirely on that hot path (dead-code elimination never changes
+/// the values that ARE used).
+inline std::optional<SegmentIntersection> intersect(const Segment& first,
+                                                    const Segment& second) {
+  constexpr double kEps = 1e-12;
+  const Vec2 r = first.direction();
+  const Vec2 s = second.direction();
+  const Vec2 qp = second.a - first.a;
+  const double denom = r.cross(s);
+
+  if (std::abs(denom) < kEps) {
+    // Parallel. Check collinear overlap.
+    if (std::abs(qp.cross(r)) > kEps) return std::nullopt;
+    const double rr = r.dot(r);
+    if (rr < kEps) {
+      // `first` degenerates to a point; intersects if it lies on `second`.
+      double t2 = 0.0;
+      if (point_segment_distance(first.a, second, &t2) < 1e-9) {
+        return SegmentIntersection{first.a, 0.0, t2};
+      }
+      return std::nullopt;
+    }
+    // Project second's endpoints onto first.
+    double t0 = qp.dot(r) / rr;
+    double t1 = (qp + s).dot(r) / rr;
+    if (t0 > t1) std::swap(t0, t1);
+    const double lo = std::max(0.0, t0);
+    const double hi = std::min(1.0, t1);
+    if (lo > hi) return std::nullopt;
+    const Vec2 p = first.point_at(lo);
+    double t2 = 0.0;
+    point_segment_distance(p, second, &t2);
+    return SegmentIntersection{p, lo, t2};
+  }
+
+  const double t = qp.cross(s) / denom;
+  const double u = qp.cross(r) / denom;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) {
+    return std::nullopt;
+  }
+  const double tc = std::clamp(t, 0.0, 1.0);
+  const double uc = std::clamp(u, 0.0, 1.0);
+  return SegmentIntersection{first.point_at(tc), tc, uc};
+}
 
 /// Parameters t (ascending, each in [0,1]) where the segment crosses the
 /// circle boundary. 0, 1 or 2 entries.

@@ -9,8 +9,9 @@
 // but still fills the slot, so instrumented code needs no branches.
 //
 // Span taxonomy (the paper's per-module latency decomposition, Fig. 14):
-//   stage.sense    whole sensing+extraction fan-out (all vehicles)
-//   stage.extract  slowest single vehicle's local extraction
+//   stage.fanout   whole sensing+extraction fan-out (all vehicles)
+//   stage.sense    one vehicle's simulated LiDAR scan (sensor only)
+//   stage.extract  one vehicle's local extraction
 //   stage.upload   simulated uplink transfer delay
 //   stage.merge    traffic-map merge + server-side detection
 //   stage.track    tracking + representative selection + prediction

@@ -87,9 +87,28 @@ class LidarSensor {
   LidarScan scan(const geom::Pose& pose, std::span<const LidarTarget> targets,
                  std::mt19937_64& rng) const;
 
+  /// Route scans through the brute-force reference path: the pre-index
+  /// O(azimuths x candidates) loop, kept as an executable specification.
+  /// The accelerated path is bit-identical to it (pinned by
+  /// test_lidar_equivalence). Defaults to the ERPD_LIDAR_BRUTE_FORCE
+  /// environment variable (any value except "" / "0" enables it) so the
+  /// whole pipeline can be cross-checked without a rebuild.
+  void set_brute_force(bool brute) { brute_force_ = brute; }
+  bool brute_force() const { return brute_force_; }
+
  private:
   LidarConfig cfg_;
   std::vector<double> elevations_;  // per-channel elevation (radians)
+  /// tan(elevation) per channel, hoisted out of the per-azimuth loop (same
+  /// std::tan call on the same double, so the values are bit-identical).
+  std::vector<double> tan_elevations_;
+  /// Per-azimuth world heading and unit direction. Pure functions of the
+  /// azimuth index and configuration (never of the pose), precomputed with
+  /// the scan loop's exact expressions so the accelerated path can skip one
+  /// sincos per ray per scan.
+  std::vector<double> azimuth_world_;
+  std::vector<geom::Vec2> azimuth_dirs_;
+  bool brute_force_{false};
 };
 
 /// Cheap line-of-sight test used by the driver model: true if the segment

@@ -4,7 +4,9 @@
 
 #include <random>
 
+#include "core/rng.hpp"
 #include "pointcloud/dbscan.hpp"
+#include "pointcloud/voxel_grid.hpp"
 
 namespace erpd::pc {
 namespace {
@@ -127,6 +129,46 @@ TEST_P(DbscanDensityInvariant, EveryClusterMemberNearAnotherMember) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DbscanDensityInvariant,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+// The dense CSR layout must return byte-identical neighbor lists (same
+// indices, same order) as the spatial-hash fallback it replaced on the hot
+// path — DBSCAN's expansion order, and with it cluster labels, depend on it.
+TEST(PointGrid, DenseAndSparseLayoutsReturnIdenticalNeighborLists) {
+  std::mt19937_64 rng = core::seeded_rng(321);
+  std::uniform_real_distribution<double> u(-30.0, 30.0);
+  PointCloud c;
+  for (int i = 0; i < 800; ++i) {
+    c.push_back({u(rng), u(rng), 0.5 + 0.01 * u(rng)});
+  }
+  const double cell = 0.8;
+  const PointGrid dense(c, cell);
+  const PointGrid sparse(c, cell, /*allow_dense=*/false);
+  ASSERT_TRUE(dense.dense());
+  ASSERT_FALSE(sparse.dense());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_EQ(dense.radius_neighbors(i, cell), sparse.radius_neighbors(i, cell))
+        << "query point " << i;
+  }
+  for (int k = 0; k < 200; ++k) {
+    const Vec3 q{u(rng), u(rng), u(rng) * 0.1};
+    ASSERT_EQ(dense.radius_neighbors(q, cell), sparse.radius_neighbors(q, cell))
+        << "free query " << k;
+  }
+}
+
+// Clouds whose occupied extent exceeds the dense-cell budget must fall back
+// to the spatial hash and still answer queries correctly.
+TEST(PointGrid, HugeExtentFallsBackToSparse) {
+  PointCloud c;
+  c.push_back({0.0, 0.0, 0.0});
+  c.push_back({0.1, 0.0, 0.0});
+  c.push_back({1e7, 1e7, 1e7});  // blows out the cell budget at cell = 0.5
+  const PointGrid grid(c, 0.5);
+  EXPECT_FALSE(grid.dense());
+  EXPECT_EQ(grid.radius_neighbors(std::size_t{0}, 0.5),
+            (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(grid.radius_neighbors(std::size_t{2}, 0.5).empty());
+}
 
 }  // namespace
 }  // namespace erpd::pc

@@ -190,6 +190,39 @@ TEST(Lidar, PerAgentCountsPartitionDynamicReturns) {
   core::set_thread_count(0);
 }
 
+// Regression for the equal-distance sort hazard: two targets with bitwise-
+// identical footprints produce hits at exactly the same range on every
+// azimuth, and the old distance-only comparator left their order — and thus
+// which target the beam "strikes" — unspecified. The comparator now breaks
+// ties on candidate index, so the first-listed target deterministically
+// claims every tied beam, in both the accelerated and brute-force paths.
+TEST(Lidar, EqualRangeHitsBreakTiesOnCandidateOrder) {
+  LidarSensor lidar(small_lidar());
+  const Obb footprint{{12.0, 0.0}, 0.2, 4.0, 2.0};
+  const std::vector<LidarTarget> ab = {
+      {footprint, 0.0, 2.0, 1},
+      {footprint, 0.0, 2.0, 2},  // same prism, listed second
+  };
+  const std::vector<LidarTarget> ba = {ab[1], ab[0]};
+
+  for (const bool brute : {false, true}) {
+    lidar.set_brute_force(brute);
+    std::mt19937_64 rng_ab(10);
+    const LidarScan s_ab = lidar.scan(sensor_at({0.0, 0.0}), ab, rng_ab);
+    std::mt19937_64 rng_ba(10);
+    const LidarScan s_ba = lidar.scan(sensor_at({0.0, 0.0}), ba, rng_ba);
+
+    // Every tied beam goes to the first-listed target; the second gets none.
+    ASSERT_TRUE(s_ab.sees(1)) << "brute=" << brute;
+    EXPECT_EQ(s_ab.points_per_agent.count(2), 0u) << "brute=" << brute;
+    ASSERT_TRUE(s_ba.sees(2)) << "brute=" << brute;
+    EXPECT_EQ(s_ba.points_per_agent.count(1), 0u) << "brute=" << brute;
+    // The winner's tally is order-independent.
+    EXPECT_EQ(s_ab.points_per_agent.at(1), s_ba.points_per_agent.at(2))
+        << "brute=" << brute;
+  }
+}
+
 TEST(LineOfSight, ClearAndBlocked) {
   const std::vector<Obb> occluders = {Obb{{5.0, 0.0}, 0.0, 2.0, 2.0}};
   EXPECT_FALSE(line_of_sight({0.0, 0.0}, {10.0, 0.0}, occluders));

@@ -7,6 +7,12 @@ half the committed value (2x headroom absorbs runner-hardware variance while
 still catching order-of-magnitude pipeline regressions), and the run must
 have been deterministic.
 
+The committed baseline itself is also held to absolute ratchet floors
+(RATCHET_FLOORS): once a perf milestone lands — the azimuth-index LiDAR
+rewrite took Ours sensing from 3.4M to 34M+ points/sec — nobody can quietly
+re-commit a slower baseline and have the relative check hide the loss. Fresh
+runs are only measured against the relative floor, since CI hardware varies.
+
 When both artifacts carry a per-method "behavior_fingerprint" and were run
 in the same mode, the fingerprints must match *bit-for-bit*: the bench runs
 fault-free (corruption off), so any drift means simulated behavior changed —
@@ -18,6 +24,11 @@ Usage: check_bench.py <fresh.json> <baseline.json>
 
 import json
 import sys
+
+# Absolute sensing_points_per_sec floors the *committed baseline* must meet
+# (quick-mode artifacts from the 1-CPU bench container). Ratcheted by the
+# LiDAR acceleration index work: >= 10x the 3.43M pre-index Ours figure.
+RATCHET_FLOORS = {"Ours": 34.0e6}
 
 
 def methods_by_name(doc):
@@ -39,6 +50,13 @@ def main(argv):
 
     fresh_methods = methods_by_name(fresh)
     for name, b in methods_by_name(base).items():
+        ratchet = RATCHET_FLOORS.get(name)
+        if ratchet is not None and b["sensing_points_per_sec"] < ratchet:
+            failures.append(
+                f"{name}: committed baseline sensing_points_per_sec"
+                f" {b['sensing_points_per_sec']:.1f} < ratchet floor"
+                f" {ratchet:.1f} - a slower baseline must not be re-committed"
+            )
         m = fresh_methods.get(name)
         if m is None:
             failures.append(f"{name}: missing from fresh run")
