@@ -272,6 +272,16 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   for (int frame = 0; frame < steps; ++frame) {
     if (cfg_.method != Method::kSingle &&
         frame % cfg_.frames_per_pipeline == 0) {
+      // Deferred spawns (World::schedule_vehicle) may have materialized
+      // since the last pipeline frame; give each new connected vehicle a
+      // client. For scenarios without deferred spawns this inserts nothing,
+      // so the pre-existing behavior is unchanged.
+      for (const sim::Vehicle& v : world.vehicles()) {
+        if (v.params().connected && !v.params().parked &&
+            !clients.contains(v.id())) {
+          clients.emplace(v.id(), VehicleClient(v.id(), client_cfg));
+        }
+      }
       // --- Vehicle-side sensing & extraction ---
       std::vector<net::UploadFrame> uploads;
       std::vector<geom::Vec2> sites;

@@ -13,7 +13,13 @@ Vehicle::Vehicle(AgentId id, VehicleParams params, int route_id,
       v_(start_speed) {}
 
 geom::Vec2 Vehicle::position(const RoadNetwork& net) const {
-  return net.route(route_id_).path.point_at(s_);
+  const geom::Polyline& path = net.route(route_id_).path;
+  // The branch is load-bearing for the goldens: outside an executing lane
+  // change the offset is exactly 0.0 and the returned point must be the
+  // same bits the pre-maneuver simulator produced (adding +0.0 could turn
+  // a -0.0 coordinate into +0.0).
+  if (lat_offset_ == 0.0) return path.point_at(s_);  // lint-ok: R6 exact-inert gate
+  return path.point_at(s_) + path.tangent_at(s_).perp() * lat_offset_;
 }
 
 double Vehicle::heading(const RoadNetwork& net) const {
@@ -52,6 +58,16 @@ void Vehicle::advance(double accel_cmd, double dt) {
   // Trapezoidal displacement with the clamped speed.
   s_ += 0.5 * (v_ + v_new) * dt;
   v_ = v_new;
+  if (lat_offset_ != 0.0) {  // lint-ok: R6 exact-inert gate
+    // Lateral blend toward the target lane center, saturating at exactly 0
+    // so the inert-gate comparison above re-arms when the change completes.
+    const double step = lat_rate_ * dt;
+    if (lat_offset_ > 0.0) {
+      lat_offset_ = std::max(0.0, lat_offset_ - step);
+    } else {
+      lat_offset_ = std::min(0.0, lat_offset_ + step);
+    }
+  }
 }
 
 void Vehicle::learn_hazard(AgentId hazard, double now,
@@ -67,6 +83,25 @@ void Vehicle::learn_hazard(AgentId hazard, double now,
     it->second.from_dissemination = true;
     it->second.aware_since = now;
   }
+}
+
+void Vehicle::set_lane_change_directive(int direction, double trigger_s) {
+  maneuver_.desired_direction = direction;
+  maneuver_.trigger_s = trigger_s;
+}
+
+void Vehicle::begin_lane_change(const RoadNetwork& net, int new_route_id,
+                                double new_s, double duration) {
+  const geom::Vec2 here = position(net);
+  route_id_ = new_route_id;
+  s_ = new_s;
+  const geom::Polyline& path = net.route(new_route_id).path;
+  // Signed offset of the physical position from the new lane's centerline
+  // (+ = left of travel), carried and blended away by advance().
+  const geom::Vec2 delta = here - path.point_at(new_s);
+  lat_offset_ = delta.dot(path.tangent_at(new_s).perp());
+  lat_rate_ = duration > 0.0 ? std::abs(lat_offset_) / duration
+                             : std::abs(lat_offset_);
 }
 
 void Vehicle::start_yield(AgentId hazard, double stop_s) {

@@ -11,6 +11,7 @@
 #include "geom/obb.hpp"
 #include "geom/polyline.hpp"
 #include "sim/car_following.hpp"
+#include "sim/maneuver.hpp"
 #include "sim/road_network.hpp"
 #include "sim/types.hpp"
 
@@ -90,6 +91,28 @@ class Vehicle {
   bool crashed() const { return crashed_; }
   void mark_crashed() { crashed_ = true; }
 
+  // --- Maneuver layer (DESIGN.md §15; inert while the layer is off) -------
+
+  const ManeuverStatus& maneuver() const { return maneuver_; }
+  ManeuverStatus& maneuver() { return maneuver_; }
+
+  /// Arm a lane-change intent: `direction` is -1 (left) or +1 (right),
+  /// `trigger_s` the arc length at which the planner starts looking for a
+  /// gap. Used by the scenario generator; a no-op unless the world's
+  /// maneuver layer is enabled.
+  void set_lane_change_directive(int direction, double trigger_s);
+
+  /// Commit a lane change: switch to `new_route_id` at arc length `new_s`,
+  /// carrying the current physical position as a lateral offset that decays
+  /// to zero over `duration` seconds (the lateral blend).
+  void begin_lane_change(const RoadNetwork& net, int new_route_id,
+                         double new_s, double duration);
+
+  /// Signed lateral offset from the route path (+ = left of travel). Always
+  /// exactly 0.0 outside an executing lane change, so position() reduces to
+  /// the pre-maneuver arithmetic bit-for-bit.
+  double lateral_offset() const { return lat_offset_; }
+
  private:
   AgentId id_;
   VehicleParams params_;
@@ -98,6 +121,9 @@ class Vehicle {
   double v_;
   double a_{0.0};
   bool crashed_{false};
+  ManeuverStatus maneuver_{};
+  double lat_offset_{0.0};
+  double lat_rate_{0.0};
   std::map<AgentId, HazardKnowledge> hazards_;
   std::map<AgentId, double> yields_;
 };

@@ -1,0 +1,187 @@
+#include "sim/maneuver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.hpp"
+#include "sim/agent.hpp"
+
+namespace erpd::sim {
+
+const char* to_string(ManeuverState s) {
+  switch (s) {
+    case ManeuverState::kFollowLane: return "follow_lane";
+    case ManeuverState::kStopAtLine: return "stop_at_line";
+    case ManeuverState::kChangeLaneLeft: return "change_lane_left";
+    case ManeuverState::kChangeLaneRight: return "change_lane_right";
+  }
+  return "?";
+}
+
+void ManeuverConfig::validate() const {
+  ERPD_REQUIRE(lane_change_duration > 0.0,
+               "ManeuverConfig: lane_change_duration must be > 0, got ",
+               lane_change_duration);
+  ERPD_REQUIRE(min_lead_gap >= 0.0,
+               "ManeuverConfig: min_lead_gap must be >= 0, got ", min_lead_gap);
+  ERPD_REQUIRE(min_lag_gap >= 0.0,
+               "ManeuverConfig: min_lag_gap must be >= 0, got ", min_lag_gap);
+  ERPD_REQUIRE(gap_time_headway >= 0.0,
+               "ManeuverConfig: gap_time_headway must be >= 0, got ",
+               gap_time_headway);
+  ERPD_REQUIRE(abort_after > 0.0,
+               "ManeuverConfig: abort_after must be > 0, got ", abort_after);
+  ERPD_REQUIRE(stop_line_clearance >= 0.0,
+               "ManeuverConfig: stop_line_clearance must be >= 0, got ",
+               stop_line_clearance);
+}
+
+bool gap_acceptable(const ManeuverConfig& cfg, double my_speed,
+                    const GapObservation& gap) {
+  const double need_lead = cfg.min_lead_gap + cfg.gap_time_headway * my_speed;
+  const double need_lag = cfg.min_lag_gap + cfg.gap_time_headway * gap.lag_speed;
+  return gap.lead_gap >= need_lead && gap.lag_gap >= need_lag;
+}
+
+ManeuverPlanner::ManeuverPlanner(ManeuverConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+namespace {
+
+/// The signal-stop decision control_vehicle applies: red always stops, yellow
+/// stops when the vehicle can still comfortably brake to the line.
+bool must_stop_at_signal(const Vehicle& v, const Route& route,
+                         const SignalController& signals, double now) {
+  if (v.params().runs_red_light || v.s() >= route.stop_line_s) return false;
+  const auto light = signals.state(route.entry_arm, now);
+  if (light == SignalController::Light::kRed) return true;
+  if (light != SignalController::Light::kYellow) return false;
+  const double dist = route.stop_line_s - v.s();
+  const double comfort_stop =
+      v.speed() * v.speed() / (2.0 * v.params().idm.comfort_decel);
+  return dist > comfort_stop;
+}
+
+}  // namespace
+
+std::optional<int> ManeuverPlanner::target_route(const Vehicle& v,
+                                                 const RoadNetwork& net,
+                                                 int direction) const {
+  const Route& cur = net.route(v.route_id());
+  const int lane = cur.entry_lane + direction;
+  if (lane < 0 || lane >= net.config().lanes_per_direction) return std::nullopt;
+  // Prefer keeping the planned intersection maneuver; fall back to whatever
+  // the target lane permits, in a fixed (deterministic) preference order.
+  for (const Maneuver m :
+       {cur.maneuver, Maneuver::kStraight, Maneuver::kRight, Maneuver::kLeft}) {
+    if (const auto id = net.find_route(cur.entry_arm, lane, m)) return *id;
+  }
+  return std::nullopt;
+}
+
+GapObservation ManeuverPlanner::observe_gaps(const Vehicle& v,
+                                             const RoadNetwork& net,
+                                             const std::vector<Vehicle>& fleet,
+                                             const Route& target) const {
+  GapObservation gap;
+  gap.lead_gap = std::numeric_limits<double>::infinity();
+  gap.lag_gap = std::numeric_limits<double>::infinity();
+  const double my_s = target.path.project(v.position(net));
+  const double half_len = 0.5 * v.params().dims.length;
+  for (const Vehicle& other : fleet) {
+    if (other.id() == v.id() || other.finished(net)) continue;
+    double lateral = 0.0;
+    const double s_other = target.path.project(other.position(net), &lateral);
+    if (lateral > net.config().lane_width * 0.5) continue;
+    const double center_gap = s_other - my_s;
+    const double bumper_gap =
+        std::abs(center_gap) - half_len - 0.5 * other.params().dims.length;
+    if (center_gap >= 0.0) {
+      if (bumper_gap < gap.lead_gap) gap.lead_gap = bumper_gap;
+    } else if (bumper_gap < gap.lag_gap) {
+      gap.lag_gap = bumper_gap;
+      gap.lag_speed = other.speed();
+    }
+  }
+  return gap;
+}
+
+void ManeuverPlanner::update(Vehicle& v, const RoadNetwork& net,
+                             const std::vector<Vehicle>& fleet,
+                             const SignalController& signals,
+                             double now) const {
+  ManeuverStatus& st = v.maneuver();
+  const Route& route = net.route(v.route_id());
+
+  switch (st.state) {
+    case ManeuverState::kFollowLane: {
+      if (must_stop_at_signal(v, route, signals, now)) {
+        st.state = ManeuverState::kStopAtLine;
+        break;
+      }
+      // Arm a pending lane change once the directive's trigger arc is
+      // reached, provided there is still room before the stop line and the
+      // target lane can host a route.
+      if (st.desired_direction != 0 && v.s() >= st.trigger_s &&
+          v.s() + cfg_.stop_line_clearance < route.stop_line_s) {
+        if (target_route(v, net, st.desired_direction).has_value()) {
+          st.state = st.desired_direction < 0 ? ManeuverState::kChangeLaneLeft
+                                              : ManeuverState::kChangeLaneRight;
+          st.waiting_since = now;
+        } else {
+          // Directive is unsatisfiable from this lane: drop it.
+          st.desired_direction = 0;
+          ++st.aborted_changes;
+        }
+      }
+      break;
+    }
+
+    case ManeuverState::kStopAtLine: {
+      if (!must_stop_at_signal(v, route, signals, now)) {
+        st.state = ManeuverState::kFollowLane;
+      }
+      break;
+    }
+
+    case ManeuverState::kChangeLaneLeft:
+    case ManeuverState::kChangeLaneRight: {
+      // An executing change (offset still blending) just rides until done.
+      if (st.desired_direction == 0) {
+        if (v.lateral_offset() == 0.0) {  // lint-ok: R6 exact-inert gate
+          st.state = ManeuverState::kFollowLane;
+        }
+        break;
+      }
+      const auto target_id = target_route(v, net, st.desired_direction);
+      // Out of room before the stop line (or the target evaporated): abort
+      // back to lane keeping.
+      if (!target_id.has_value() ||
+          v.s() + cfg_.stop_line_clearance >= route.stop_line_s ||
+          now - st.waiting_since > cfg_.abort_after) {
+        st.desired_direction = 0;
+        st.waiting_since = -1.0;
+        st.state = ManeuverState::kFollowLane;
+        ++st.aborted_changes;
+        break;
+      }
+      const Route& target = net.route(*target_id);
+      const GapObservation gap = observe_gaps(v, net, fleet, target);
+      if (gap_acceptable(cfg_, v.speed(), gap)) {
+        const double new_s = target.path.project(v.position(net));
+        v.begin_lane_change(net, *target_id, new_s,
+                            cfg_.lane_change_duration);
+        st.desired_direction = 0;
+        st.waiting_since = -1.0;
+        ++st.completed_changes;
+        // Stay in the change state while the lateral blend runs; the
+        // offset==0 check above returns the machine to kFollowLane.
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace erpd::sim

@@ -200,6 +200,7 @@ void add_background_pedestrians(World& world, const ScenarioConfig& cfg,
 }
 
 World make_world(const ScenarioConfig& cfg) {
+  cfg.validate();
   WorldConfig wc = cfg.world;
   wc.seed = cfg.seed;
   // The scripted conflicts play out in the first ~15 s; keep the main axis
@@ -209,6 +210,33 @@ World make_world(const ScenarioConfig& cfg) {
 }
 
 }  // namespace
+
+void ScenarioConfig::validate() const {
+  ERPD_REQUIRE(std::isfinite(speed_kmh) && speed_kmh > 0.0 &&
+                   speed_kmh <= 200.0,
+               "ScenarioConfig: speed_kmh must be in (0, 200], got ",
+               speed_kmh);
+  ERPD_REQUIRE(std::isfinite(connected_fraction) &&
+                   connected_fraction >= 0.0 && connected_fraction <= 1.0,
+               "ScenarioConfig: connected_fraction must be in [0, 1], got ",
+               connected_fraction);
+  ERPD_REQUIRE(total_vehicles >= 0 && total_vehicles <= 10000,
+               "ScenarioConfig: total_vehicles must be in [0, 10000], got ",
+               total_vehicles);
+  ERPD_REQUIRE(pedestrians >= 0 && pedestrians <= 10000,
+               "ScenarioConfig: pedestrians must be in [0, 10000], got ",
+               pedestrians);
+  ERPD_REQUIRE(std::isfinite(time_to_conflict) && time_to_conflict > 0.0,
+               "ScenarioConfig: time_to_conflict must be > 0, got ",
+               time_to_conflict);
+  ERPD_REQUIRE(std::isfinite(follower_gap) && follower_gap > 0.0,
+               "ScenarioConfig: follower_gap must be > 0, got ", follower_gap);
+}
+
+void add_intersection_scenery(World& world) {
+  add_corner_buildings(world);
+  add_street_walls(world);
+}
 
 Scenario make_unprotected_left_turn(const ScenarioConfig& cfg) {
   Scenario sc{make_world(cfg), kInvalidAgent, kInvalidAgent, {}, kInvalidAgent};

@@ -35,6 +35,11 @@ struct ScenarioConfig {
   std::uint64_t seed{1};
   WorldConfig world{};
   RoadConfig road{};
+
+  /// Contract-checks every parameter range (ERPD_REQUIRE). Called by every
+  /// scenario builder, so an out-of-range demand/timing parameter fails
+  /// loudly at construction instead of producing a silently absurd world.
+  void validate() const;
 };
 
 struct Scenario {
@@ -53,6 +58,11 @@ struct Scenario {
 Scenario make_unprotected_left_turn(const ScenarioConfig& cfg);
 Scenario make_red_light_violation(const ScenarioConfig& cfg);
 Scenario make_occluded_pedestrian(const ScenarioConfig& cfg);
+
+/// The urban backdrop shared by scripted and generated scenarios: the four
+/// corner buildings that bound diagonal sight lines plus the street-front
+/// walls flanking every arm. Deterministic (consumes no randomness).
+void add_intersection_scenery(World& world);
 
 /// A pedestrian at an intersection corner for clustering experiments:
 /// position, heading (walking direction) and speed.

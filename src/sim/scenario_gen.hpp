@@ -1,0 +1,164 @@
+#pragma once
+// Seeded scenario generator (ROADMAP item 4, DESIGN.md §15).
+//
+// generate_scenario(cfg, seed) is a pure function of (GenConfig, u64 seed):
+// it samples traffic demand, spawn times/routes, signal timing, occluder
+// placement and pedestrian crowds into a ScenarioSpec — a plain-data
+// description that serializes to a small line-oriented text format. Any
+// interesting seed therefore becomes a committed replay file under
+// tests/scenarios/, and the search harness (tools/scenario_search) can
+// sweep seeds, minimize failures and emit regression anchors.
+//
+// The split matters: generation (randomized, seed-driven) and construction
+// (ScenarioSpec -> World, fully deterministic) are separate stages, so a
+// minimizer can edit the spec — drop spawns, remove pedestrians — without
+// re-rolling the dice for the survivors.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/maneuver.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace erpd::sim {
+
+/// The parameter space the generator samples from. validate() contract-
+/// checks every range (ERPD_REQUIRE), so an out-of-range demand or timing
+/// parameter fails loudly instead of generating an absurd world.
+struct GenConfig {
+  int min_vehicles{6};
+  int max_vehicles{22};
+  double min_speed_kmh{20.0};
+  double max_speed_kmh{45.0};
+  double min_connected{0.2};
+  double max_connected{0.8};
+  int max_pedestrians{8};
+  int max_occluders{3};
+  /// Deferred spawns land uniformly in (0, max_spawn_time]; roughly half of
+  /// the demand spawns at t=0 as standing/flowing traffic.
+  double max_spawn_time{6.0};
+  /// Fraction of eligible spawns that carry a lane-change directive.
+  double lane_change_fraction{0.35};
+  /// Simulated duration a scenario is meant to run (seconds).
+  double duration{14.0};
+  /// Signal timing ranges (seconds).
+  double min_green{10.0};
+  double max_green{30.0};
+
+  void validate() const;
+};
+
+/// One vehicle the generator decided to create.
+struct SpawnSpec {
+  double time{0.0};  ///< spawn time (0 = present at t=0)
+  Arm arm{Arm::kNorth};
+  int lane{0};
+  Maneuver maneuver{Maneuver::kStraight};
+  double start_s{4.0};       ///< arc position along the route at spawn
+  double desired_speed{8.0};  ///< IDM desired speed (m/s)
+  double start_speed{0.0};    ///< initial speed (m/s)
+  bool connected{false};
+  AgentKind kind{AgentKind::kCar};
+  /// Lane-change directive: 0 none, -1 left, +1 right (maneuver layer).
+  int lane_change{0};
+  double lane_change_trigger_s{0.0};
+};
+
+/// A parked truck occluding sight lines near a stop line.
+struct OccluderSpec {
+  Arm arm{Arm::kNorth};
+  int lane{0};
+  Maneuver maneuver{Maneuver::kStraight};
+  double s{0.0};
+  double length{8.5};
+};
+
+struct PedSpec {
+  Arm arm{Arm::kNorth};
+  /// Sidewalk side (crossers: which end of the crosswalk they start from).
+  bool east_side{false};
+  /// Walk direction along the path is reversed.
+  bool reverse{false};
+  /// Lead-in distance walked before reaching the nominal path start (m);
+  /// staggers when crossers step into the roadway.
+  double start_offset{0.0};
+  double walk_speed{1.35};
+  /// True: walks the arm's crosswalk (can conflict with traffic).
+  /// False: walks the sidewalk parallel to the arm (pipeline load only).
+  bool crossing{false};
+};
+
+/// Outcome pinned into a committed scenario file: replaying the anchor must
+/// reproduce these values exactly (doubles are serialized as hexfloats).
+struct SpecExpectations {
+  bool present{false};
+  int collisions{0};
+  double min_vehicle_gap{0.0};
+  double min_ped_gap{0.0};
+};
+
+struct ScenarioSpec {
+  std::uint64_t seed{0};
+  double duration{14.0};
+  SignalController::Timing signal{};
+  ManeuverConfig maneuver{};
+  std::vector<SpawnSpec> spawns;
+  std::vector<OccluderSpec> occluders;
+  std::vector<PedSpec> pedestrians;
+  SpecExpectations expect{};
+
+  /// Contract-checks the spec against a road network: every spawn references
+  /// a route the network can supply, every arc position lies on that route,
+  /// all scalars are finite and in range.
+  void validate(const RoadNetwork& net) const;
+};
+
+/// Sample a scenario. Pure function of (cfg, seed): no global state, no
+/// wall clock — byte-identical output for a given input on every replay.
+ScenarioSpec generate_scenario(const GenConfig& cfg, std::uint64_t seed);
+
+/// Materialize a spec into a runnable Scenario (world + agents). The spec is
+/// validated first. `base_world` supplies sensor/timing knobs (the spec owns
+/// seed, signal timing and the maneuver layer); generated scenarios have no
+/// scripted ego/threat, so Scenario::ego/threat stay kInvalidAgent.
+Scenario build_scenario(const ScenarioSpec& spec,
+                        const WorldConfig& base_world = {});
+
+/// The canonical world profile the search harness and the committed replay
+/// anchors use: coarse 16-channel LiDAR (CI-affordable), all behavioral
+/// knobs at defaults.
+WorldConfig search_world_config();
+
+// --- Serialization (tests/scenarios/*.scn) --------------------------------
+
+/// Canonical text form. parse(emit(s)) reproduces every field bit-exactly
+/// (doubles are hexfloats) and emit(parse(emit(s))) == emit(s).
+std::string emit_spec(const ScenarioSpec& spec);
+
+enum class SpecParseStatus : std::uint8_t {
+  kOk,
+  kBadHeader,    ///< missing/unsupported "erpd-scenario v1" header
+  kBadSyntax,    ///< wrong token count / malformed line
+  kBadValue,     ///< unparseable, non-finite or out-of-range value
+  kUnknownKey,   ///< unrecognized line keyword
+};
+
+const char* to_string(SpecParseStatus s);
+
+/// Total parser over arbitrary text (the pc::try_decode pattern): never
+/// throws, classifies every malformed input through SpecParseStatus and
+/// reports the offending 1-based line.
+struct SpecParseResult {
+  SpecParseStatus status{SpecParseStatus::kOk};
+  std::size_t line{0};
+  std::string message;
+  ScenarioSpec spec{};
+  bool ok() const { return status == SpecParseStatus::kOk; }
+};
+
+SpecParseResult try_parse_spec(std::string_view text);
+
+}  // namespace erpd::sim

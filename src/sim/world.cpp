@@ -17,7 +17,8 @@ World::World(RoadNetwork network, WorldConfig cfg)
       cfg_(cfg),
       signals_(cfg.signal),
       lidar_(cfg.lidar),
-      rng_(core::seeded_rng(cfg.seed)) {}
+      rng_(core::seeded_rng(cfg.seed)),
+      maneuver_planner_(cfg.maneuver) {}
 
 AgentId World::add_vehicle(const VehicleParams& params, int route_id,
                            double start_s, double start_speed) {
@@ -31,6 +32,62 @@ AgentId World::add_vehicle(const VehicleParams& params, int route_id,
   const AgentId id = next_id_++;
   vehicles_.emplace_back(id, params, route_id, start_s, start_speed);
   return id;
+}
+
+AgentId World::schedule_vehicle(double spawn_time, const VehicleParams& params,
+                                int route_id, double start_s,
+                                double start_speed, int lane_change_direction,
+                                double lane_change_trigger_s) {
+  ERPD_REQUIRE(route_id >= 0 &&
+                   static_cast<std::size_t>(route_id) < net_.routes().size(),
+               "World::schedule_vehicle: route ", route_id,
+               " out of range [0, ", net_.routes().size(), ")");
+  ERPD_REQUIRE(spawn_time >= 0.0 && std::isfinite(spawn_time),
+               "World::schedule_vehicle: spawn_time must be finite and >= 0, "
+               "got ", spawn_time);
+  ERPD_REQUIRE(start_speed >= 0.0,
+               "World::schedule_vehicle: start_speed must be >= 0, got ",
+               start_speed);
+  ERPD_REQUIRE(lane_change_direction >= -1 && lane_change_direction <= 1,
+               "World::schedule_vehicle: lane_change_direction must be in "
+               "{-1, 0, 1}, got ", lane_change_direction);
+  const AgentId id = next_id_++;
+  pending_.push_back({spawn_time, params, route_id, start_s, start_speed, id,
+                      lane_change_direction, lane_change_trigger_s});
+  return id;
+}
+
+void World::materialize_pending_spawns() {
+  if (pending_.empty()) return;
+  std::vector<PendingVehicle> still_pending;
+  still_pending.reserve(pending_.size());
+  for (PendingVehicle& p : pending_) {
+    bool spawn = p.spawn_time <= time_;
+    if (spawn) {
+      // Hold the spawn while the spot is blocked so a late spawn can never
+      // materialize inside another vehicle (instant phantom collision).
+      const geom::Vec2 pos = net_.route(p.route_id).path.point_at(p.start_s);
+      for (const Vehicle& v : vehicles_) {
+        if (v.finished(net_)) continue;
+        if (distance(v.position(net_), pos) <
+            p.params.dims.length + v.params().dims.length) {
+          spawn = false;
+          break;
+        }
+      }
+    }
+    if (!spawn) {
+      still_pending.push_back(std::move(p));
+      continue;
+    }
+    vehicles_.emplace_back(p.id, p.params, p.route_id, p.start_s,
+                           p.start_speed);
+    if (p.lane_change_direction != 0) {
+      vehicles_.back().set_lane_change_directive(p.lane_change_direction,
+                                                 p.lane_change_trigger_s);
+    }
+  }
+  pending_ = std::move(still_pending);
 }
 
 AgentId World::add_pedestrian(const PedestrianParams& params,
@@ -293,6 +350,19 @@ void World::sense_hazards() {
 }
 
 void World::step() {
+  materialize_pending_spawns();
+
+  // Maneuver layer (off by default): advance each vehicle's lateral state
+  // machine against the pre-step world, in storage order. A committed lane
+  // change mutates that vehicle's route before later vehicles observe gaps —
+  // sequential and deterministic, like the control loop below.
+  if (cfg_.maneuver.enabled) {
+    for (Vehicle& v : vehicles_) {
+      if (v.params().parked || v.crashed() || v.finished(net_)) continue;
+      maneuver_planner_.update(v, net_, vehicles_, signals_, time_);
+    }
+  }
+
   sense_hazards();
 
   // Compute controls against the pre-step state, then integrate.
@@ -378,6 +448,7 @@ void World::update_pair_distances() {
                                     std::numeric_limits<double>::infinity())
                        .first->second;
       slot = std::min(slot, d);
+      global_min_ped_distance_ = std::min(global_min_ped_distance_, d);
     }
   }
 }

@@ -20,6 +20,7 @@
 
 #include "sim/agent.hpp"
 #include "sim/lidar.hpp"
+#include "sim/maneuver.hpp"
 #include "sim/road_network.hpp"
 #include "sim/types.hpp"
 
@@ -44,6 +45,10 @@ struct WorldConfig {
   bool react_to_visible_hazards{false};
   SignalController::Timing signal{};
   LidarConfig lidar{};
+  /// Maneuver layer above car_following (DESIGN.md §15). Disabled by
+  /// default: the planner never runs and behavior is bit-identical to the
+  /// pre-maneuver simulator.
+  ManeuverConfig maneuver{};
   std::uint64_t seed{1};
 };
 
@@ -81,6 +86,18 @@ class World {
                       double start_s, double start_speed);
   AgentId add_pedestrian(const PedestrianParams& params, geom::Polyline path,
                          double start_s = 0.0);
+
+  /// Deferred spawn: the vehicle materializes at the first step() with
+  /// time >= spawn_time whose spawn spot is clear (a blocked spawn retries
+  /// next tick). The id is assigned now, so ids are a pure function of the
+  /// add/schedule call sequence regardless of when spawns land. An optional
+  /// lane-change directive arms the maneuver layer for this vehicle.
+  AgentId schedule_vehicle(double spawn_time, const VehicleParams& params,
+                           int route_id, double start_s, double start_speed,
+                           int lane_change_direction = 0,
+                           double lane_change_trigger_s = 0.0);
+  /// Vehicles scheduled but not yet materialized.
+  std::size_t pending_vehicles() const { return pending_.size(); }
   /// Static scenery (buildings, barriers): occludes LiDAR and sight.
   void add_static_obstacle(const geom::Obb& footprint, double height);
 
@@ -122,6 +139,12 @@ class World {
   double min_pair_distance(AgentId a, AgentId b) const;
   /// Minimum over all vehicle pairs ever observed.
   double min_vehicle_distance() const { return global_min_distance_; }
+  /// Minimum over all (vehicle, pedestrian) pairs ever observed (inf if no
+  /// pedestrian ever shared a frame with a vehicle). Near-miss metric for
+  /// the scenario-search harness.
+  double min_vehicle_pedestrian_distance() const {
+    return global_min_ped_distance_;
+  }
 
   std::vector<AgentSnapshot> snapshot() const;
 
@@ -148,6 +171,20 @@ class World {
     double height;
   };
   std::vector<StaticObstacle> statics_;
+
+  /// Deferred spawns, processed in schedule order at the top of step().
+  struct PendingVehicle {
+    double spawn_time;
+    VehicleParams params;
+    int route_id;
+    double start_s;
+    double start_speed;
+    AgentId id;
+    int lane_change_direction;
+    double lane_change_trigger_s;
+  };
+  std::vector<PendingVehicle> pending_;
+  ManeuverPlanner maneuver_planner_;
 
   std::vector<CollisionEvent> collisions_;
   /// Ordered by pair key (detlint D1): metrics consumers may enumerate the
@@ -178,7 +215,10 @@ class World {
     double t_hazard{0.0};
   };
 
+  double global_min_ped_distance_{std::numeric_limits<double>::infinity()};
+
   double control_vehicle(Vehicle& v);
+  void materialize_pending_spawns();
   std::optional<std::size_t> find_leader(std::size_t vi) const;
   double delayed_speed(AgentId id, double delay) const;
   /// Crossing between the vehicle's path ahead and the hazard's projected

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <string>
 
 #include "core/det_hash.hpp"
 #include "core/thread_pool.hpp"
@@ -17,6 +18,7 @@
 #include "pointcloud/voxel_grid.hpp"
 #include "scenario_harness.hpp"
 #include "sim/lidar.hpp"
+#include "sim/scenario_gen.hpp"
 
 namespace erpd {
 namespace {
@@ -277,6 +279,63 @@ TEST(Determinism, FingerprintImmuneToHashSeedShuffle) {
     core::set_det_hash_seed(core::mix64(shuffle));
     EXPECT_EQ(seed42_fingerprint(), ref)
         << "hash-order dependence leaked into simulated output (shuffle seed "
+        << shuffle << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generated scenarios (DESIGN.md §15): both stages of the generator pipeline
+// must be deterministic — generate_scenario's serialized output is a pure
+// function of the seed (no thread-count dependence), and the full closed
+// loop over a generated world (deferred spawns, maneuver layer, crowds,
+// dissemination) replays bit-identically at 1/2/8 workers and under the
+// det-hash shuffle.
+// ---------------------------------------------------------------------------
+
+const std::uint64_t kGeneratedSeeds[] = {2, 9, 19};
+
+std::uint64_t run_generated(std::uint64_t seed, std::size_t threads,
+                            std::string* spec_text = nullptr) {
+  core::set_thread_count(threads);
+  const sim::ScenarioSpec spec = sim::generate_scenario(sim::GenConfig{}, seed);
+  if (spec_text != nullptr) *spec_text = sim::emit_spec(spec);
+  sim::Scenario sc = sim::build_scenario(spec, sim::search_world_config());
+  edge::RunnerConfig rc = edge::make_runner_config(edge::Method::kOurs);
+  // Short horizon keeps the 3-seed x 3-thread-count sweep affordable under
+  // TSan; the committed anchors cover full-duration replays.
+  rc.duration = 4.0;
+  edge::SystemRunner runner(rc);
+  return harness::metrics_fingerprint(runner.run(sc));
+}
+
+TEST(Determinism, GeneratedScenariosIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  for (const std::uint64_t seed : kGeneratedSeeds) {
+    std::string ref_text;
+    const std::uint64_t ref = run_generated(seed, 1, &ref_text);
+    ASSERT_FALSE(ref_text.empty());
+    for (const std::size_t t : kThreadCounts) {
+      std::string text;
+      const std::uint64_t got = run_generated(seed, t, &text);
+      EXPECT_EQ(text, ref_text) << "seed " << seed << " @ " << t << " threads";
+      EXPECT_EQ(got, ref) << "seed " << seed << " @ " << t << " threads";
+    }
+  }
+}
+
+TEST(Determinism, GeneratedScenarioImmuneToHashSeedShuffle) {
+  PoolGuard pool_guard;
+  HashSeedGuard hash_guard;
+  core::set_thread_count(2);
+
+  core::set_det_hash_seed(0);
+  const std::uint64_t ref = run_generated(19, 2);
+
+  for (const std::uint64_t shuffle :
+       {std::uint64_t{0x9e3779b97f4a7c15}, std::uint64_t{1}}) {
+    core::set_det_hash_seed(core::mix64(shuffle));
+    EXPECT_EQ(run_generated(19, 2), ref)
+        << "generated-scenario replay drifted under hash shuffle (seed "
         << shuffle << ")";
   }
 }

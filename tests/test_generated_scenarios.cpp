@@ -1,0 +1,113 @@
+// Replays the committed scenario-search anchors (ctest label: generated).
+//
+// Each file under tests/scenarios/ is a minimized ScenarioSpec the search
+// harness (tools/scenario_search) found and ddmin-reduced, with the observed
+// outcome pinned in its `expect` line. Replaying an anchor must reproduce
+// that outcome EXACTLY — collision count and minimum gaps bit-for-bit
+// (hexfloats in, hexfloats compared) — so any behavioral drift in the
+// simulator, the maneuver layer or the dissemination loop shows up as a
+// regression here, not as a silently different crash.
+//
+// When behavior changes intentionally, re-pin with
+//   tools/scenario_search --replay <file>   (or regenerate the anchor)
+// and commit the diff.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "edge/system_runner.hpp"
+#include "sim/scenario_gen.hpp"
+
+namespace erpd {
+namespace {
+
+struct Anchor {
+  const char* file;
+  /// At least one vehicle must complete a lane change during the replay.
+  bool requires_lane_change;
+};
+
+// The committed anchor set. Listed explicitly (not globbed) so a missing
+// file is a loud failure, not a silently shrunk suite.
+const Anchor kAnchors[] = {
+    {"seed2_near-miss.scn", false},
+    {"seed9_collision.scn", true},  // minimized with --require-lane-change
+    {"seed11_near-miss.scn", false},
+    {"seed12_collision.scn", false},
+    {"seed19_collision.scn", false},
+};
+
+std::string read_anchor(const std::string& name) {
+  const std::string path =
+      std::string(ERPD_TESTS_DIR) + "/scenarios/" + name;
+  std::ifstream f(path);
+  EXPECT_TRUE(f) << "missing committed anchor " << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(GeneratedScenarios, AnchorsReplayToPinnedOutcomes) {
+  for (const Anchor& anchor : kAnchors) {
+    SCOPED_TRACE(anchor.file);
+    const std::string text = read_anchor(anchor.file);
+    ASSERT_FALSE(text.empty());
+
+    const sim::SpecParseResult parsed = sim::try_parse_spec(text);
+    ASSERT_TRUE(parsed.ok())
+        << sim::to_string(parsed.status) << " at line " << parsed.line
+        << ": " << parsed.message;
+    const sim::ScenarioSpec& spec = parsed.spec;
+    ASSERT_TRUE(spec.expect.present)
+        << "anchor has no pinned expectations — re-pin it";
+
+    // The exact profile the search harness ran under.
+    sim::Scenario sc = sim::build_scenario(spec, sim::search_world_config());
+    edge::RunnerConfig rc = edge::make_runner_config(edge::Method::kOurs);
+    rc.duration = spec.duration;
+    edge::SystemRunner runner(rc);
+    runner.run(sc);
+
+    const sim::World& world = sc.world;
+    EXPECT_EQ(static_cast<int>(world.collisions().size()),
+              spec.expect.collisions);
+    // Bit-exact: the anchor pins hexfloats, the replay must land on the
+    // identical doubles (this is the determinism contract, not a tolerance
+    // question).
+    EXPECT_EQ(world.min_vehicle_distance(),  // lint-ok: R6 bit-exact pin
+              spec.expect.min_vehicle_gap);
+    EXPECT_EQ(world.min_vehicle_pedestrian_distance(),  // lint-ok: R6 as above
+              spec.expect.min_ped_gap);
+
+    if (anchor.requires_lane_change) {
+      int completed = 0;
+      for (const sim::Vehicle& v : world.vehicles()) {
+        completed += v.maneuver().completed_changes;
+      }
+      EXPECT_GE(completed, 1)
+          << "anchor was selected to exercise a lane change, but none ran";
+    }
+  }
+}
+
+TEST(GeneratedScenarios, AnchorsRoundTripThroughTheirOwnText) {
+  // Committed files may carry comments; emit(parse(file)) is the canonical
+  // form and must itself re-parse to the same spec.
+  for (const Anchor& anchor : kAnchors) {
+    SCOPED_TRACE(anchor.file);
+    const sim::SpecParseResult first = sim::try_parse_spec(
+        read_anchor(anchor.file));
+    ASSERT_TRUE(first.ok());
+    const std::string canonical = sim::emit_spec(first.spec);
+    const sim::SpecParseResult second = sim::try_parse_spec(canonical);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(sim::emit_spec(second.spec), canonical);
+  }
+}
+
+}  // namespace
+}  // namespace erpd

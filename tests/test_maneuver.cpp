@@ -1,0 +1,336 @@
+// Maneuver-layer unit tests (DESIGN.md §15).
+//
+// Covers the planner's transition table directly (follow -> stop -> follow,
+// directive arming, gap-rejection aborts, the commit + lateral blend back to
+// exactly 0.0), the Gipps-style gap acceptance boundaries, config contract
+// checks, and — critically — that the layer is exactly inert while disabled:
+// a world with a lane-change directive but maneuver.enabled == false is
+// bit-identical to one that never heard of the directive.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/check.hpp"
+#include "sim/agent.hpp"
+#include "sim/maneuver.hpp"
+#include "sim/road_network.hpp"
+#include "sim/world.hpp"
+
+namespace erpd::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ManeuverConfig enabled_config() {
+  ManeuverConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+/// A vehicle on the given (arm, lane, maneuver) route of `net`.
+Vehicle make_vehicle(const RoadNetwork& net, AgentId id, Arm arm, int lane,
+                     Maneuver m, double s, double speed) {
+  const auto route = net.find_route(arm, lane, m);
+  EXPECT_TRUE(route.has_value());
+  return Vehicle(id, VehicleParams{}, *route, s, speed);
+}
+
+TEST(ManeuverConfig, ValidateRejectsOutOfRange) {
+  const auto bad = [](auto&& mutate) {
+    ManeuverConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), erpd::ContractViolation);
+  };
+  bad([](ManeuverConfig& c) { c.lane_change_duration = 0.0; });
+  bad([](ManeuverConfig& c) { c.min_lead_gap = -1.0; });
+  bad([](ManeuverConfig& c) { c.min_lag_gap = -0.5; });
+  bad([](ManeuverConfig& c) { c.gap_time_headway = -0.1; });
+  bad([](ManeuverConfig& c) { c.abort_after = 0.0; });
+  bad([](ManeuverConfig& c) { c.stop_line_clearance = -2.0; });
+  EXPECT_NO_THROW(ManeuverConfig{}.validate());
+}
+
+TEST(GapAcceptance, LeadGapScalesWithOwnSpeed) {
+  ManeuverConfig cfg;  // min_lead 6, min_lag 8, headway 0.8
+  GapObservation gap;
+  gap.lag_gap = kInf;
+  const double my_speed = 10.0;
+  const double need = cfg.min_lead_gap + cfg.gap_time_headway * my_speed;
+  gap.lead_gap = need;
+  EXPECT_TRUE(gap_acceptable(cfg, my_speed, gap));
+  gap.lead_gap = need - 0.01;
+  EXPECT_FALSE(gap_acceptable(cfg, my_speed, gap));
+}
+
+TEST(GapAcceptance, LagGapScalesWithTrailingSpeed) {
+  ManeuverConfig cfg;
+  GapObservation gap;
+  gap.lead_gap = kInf;
+  gap.lag_speed = 5.0;
+  const double need = cfg.min_lag_gap + cfg.gap_time_headway * gap.lag_speed;
+  gap.lag_gap = need;
+  EXPECT_TRUE(gap_acceptable(cfg, 0.0, gap));
+  gap.lag_gap = need - 0.01;
+  EXPECT_FALSE(gap_acceptable(cfg, 0.0, gap));
+}
+
+TEST(GapAcceptance, EmptyLaneAlwaysAccepts) {
+  GapObservation gap;
+  gap.lead_gap = kInf;
+  gap.lag_gap = kInf;
+  EXPECT_TRUE(gap_acceptable(ManeuverConfig{}, 30.0, gap));
+}
+
+// --- Transition table ------------------------------------------------------
+
+TEST(ManeuverPlanner, FollowToStopToFollowWithSignal) {
+  RoadNetwork net{RoadConfig{}};
+  SignalController::Timing timing;  // green 20, yellow 3, all_red 2
+  SignalController signals(timing);
+  ManeuverPlanner planner(enabled_config());
+
+  // East serves phase B: red at t=0, green in the second half-cycle.
+  std::vector<Vehicle> fleet;
+  fleet.push_back(make_vehicle(net, 1, Arm::kEast, 0, Maneuver::kStraight,
+                               /*s=*/40.0, /*speed=*/8.0));
+  Vehicle& v = fleet.front();
+  ASSERT_EQ(signals.state(Arm::kEast, 0.0), SignalController::Light::kRed);
+  ASSERT_EQ(v.maneuver().state, ManeuverState::kFollowLane);
+
+  planner.update(v, net, fleet, signals, 0.0);
+  EXPECT_EQ(v.maneuver().state, ManeuverState::kStopAtLine);
+
+  // Still red a tick later: stays put.
+  planner.update(v, net, fleet, signals, 0.1);
+  EXPECT_EQ(v.maneuver().state, ManeuverState::kStopAtLine);
+
+  const double t_green = timing.green + timing.yellow + timing.all_red + 0.5;
+  ASSERT_EQ(signals.state(Arm::kEast, t_green),
+            SignalController::Light::kGreen);
+  planner.update(v, net, fleet, signals, t_green);
+  EXPECT_EQ(v.maneuver().state, ManeuverState::kFollowLane);
+}
+
+TEST(ManeuverPlanner, PastStopLineIgnoresRed) {
+  RoadNetwork net{RoadConfig{}};
+  SignalController signals(SignalController::Timing{});
+  ManeuverPlanner planner(enabled_config());
+
+  std::vector<Vehicle> fleet;
+  const auto route_id = net.find_route(Arm::kEast, 0, Maneuver::kStraight);
+  ASSERT_TRUE(route_id.has_value());
+  const Route& route = net.route(*route_id);
+  fleet.push_back(Vehicle(1, VehicleParams{}, *route_id,
+                          route.stop_line_s + 1.0, 8.0));
+  planner.update(fleet.front(), net, fleet, signals, 0.0);
+  EXPECT_EQ(fleet.front().maneuver().state, ManeuverState::kFollowLane);
+}
+
+TEST(ManeuverPlanner, RedLightRunnerNeverStops) {
+  RoadNetwork net{RoadConfig{}};
+  SignalController signals(SignalController::Timing{});
+  ManeuverPlanner planner(enabled_config());
+
+  VehicleParams params;
+  params.runs_red_light = true;
+  const auto route_id = net.find_route(Arm::kEast, 0, Maneuver::kStraight);
+  ASSERT_TRUE(route_id.has_value());
+  std::vector<Vehicle> fleet;
+  fleet.push_back(Vehicle(1, params, *route_id, 40.0, 8.0));
+  planner.update(fleet.front(), net, fleet, signals, 0.0);
+  EXPECT_EQ(fleet.front().maneuver().state, ManeuverState::kFollowLane);
+}
+
+TEST(ManeuverPlanner, DirectiveArmsThenCommitsInEmptyLane) {
+  RoadNetwork net{RoadConfig{}};  // 2 lanes per direction
+  SignalController signals(SignalController::Timing{});
+  const ManeuverConfig cfg = enabled_config();
+  ManeuverPlanner planner(cfg);
+
+  // North is green at t=0, so the follow-lane branch runs.
+  std::vector<Vehicle> fleet;
+  fleet.push_back(make_vehicle(net, 7, Arm::kNorth, 1, Maneuver::kStraight,
+                               /*s=*/20.0, /*speed=*/8.0));
+  Vehicle& v = fleet.front();
+  const int original_route = v.route_id();
+  v.set_lane_change_directive(-1, /*trigger_s=*/10.0);
+
+  // Tick 1: the directive arms (trigger passed, room before the stop line).
+  planner.update(v, net, fleet, signals, 0.0);
+  EXPECT_EQ(v.maneuver().state, ManeuverState::kChangeLaneLeft);
+  EXPECT_EQ(v.maneuver().completed_changes, 0);
+
+  // Tick 2: the lane is empty, so the gap is accepted and the change
+  // commits — route switches to lane 0, the blend starts.
+  planner.update(v, net, fleet, signals, 0.1);
+  EXPECT_EQ(v.maneuver().completed_changes, 1);
+  EXPECT_EQ(v.maneuver().desired_direction, 0);
+  EXPECT_NE(v.route_id(), original_route);
+  EXPECT_EQ(net.route(v.route_id()).entry_lane, 0);
+  EXPECT_NE(v.lateral_offset(), 0.0);  // lint-ok: R6 blend must be engaged
+  EXPECT_EQ(v.maneuver().state, ManeuverState::kChangeLaneLeft);
+
+  // Ride the blend: the offset decays to exactly 0.0 within the configured
+  // duration, at which point the machine returns to lane keeping.
+  double now = 0.1;
+  const int max_ticks =
+      static_cast<int>(cfg.lane_change_duration / 0.1) + 10;
+  for (int i = 0; i < max_ticks; ++i) {
+    now += 0.1;
+    v.advance(/*accel_cmd=*/0.0, /*dt=*/0.1);
+    planner.update(v, net, fleet, signals, now);
+  }
+  EXPECT_EQ(v.lateral_offset(), 0.0);  // lint-ok: R6 exact-inert contract
+  EXPECT_EQ(v.maneuver().state, ManeuverState::kFollowLane);
+}
+
+TEST(ManeuverPlanner, UnsatisfiableDirectiveIsDropped) {
+  RoadNetwork net{RoadConfig{}};
+  SignalController signals(SignalController::Timing{});
+  ManeuverPlanner planner(enabled_config());
+
+  // Lane 0 is the innermost: a left change has no target lane.
+  std::vector<Vehicle> fleet;
+  fleet.push_back(make_vehicle(net, 3, Arm::kNorth, 0, Maneuver::kStraight,
+                               20.0, 8.0));
+  Vehicle& v = fleet.front();
+  v.set_lane_change_directive(-1, 0.0);
+  planner.update(v, net, fleet, signals, 0.0);
+  EXPECT_EQ(v.maneuver().state, ManeuverState::kFollowLane);
+  EXPECT_EQ(v.maneuver().desired_direction, 0);
+  EXPECT_EQ(v.maneuver().aborted_changes, 1);
+}
+
+TEST(ManeuverPlanner, PersistentGapRejectionAborts) {
+  RoadNetwork net{RoadConfig{}};
+  SignalController signals(SignalController::Timing{});
+  const ManeuverConfig cfg = enabled_config();
+  ManeuverPlanner planner(cfg);
+
+  std::vector<Vehicle> fleet;
+  fleet.push_back(make_vehicle(net, 1, Arm::kNorth, 1, Maneuver::kStraight,
+                               20.0, 8.0));
+  // A blocker alongside in the target lane: both gaps stay tiny.
+  fleet.push_back(make_vehicle(net, 2, Arm::kNorth, 0, Maneuver::kStraight,
+                               20.0, 8.0));
+  Vehicle& v = fleet.front();
+  v.set_lane_change_directive(-1, 0.0);
+
+  planner.update(v, net, fleet, signals, 0.0);
+  ASSERT_EQ(v.maneuver().state, ManeuverState::kChangeLaneLeft);
+  ASSERT_EQ(v.maneuver().waiting_since, 0.0);  // lint-ok: R6 set-once stamp
+
+  double now = 0.0;
+  while (now <= cfg.abort_after + 0.2) {
+    now += 0.1;
+    planner.update(v, net, fleet, signals, now);
+  }
+  EXPECT_EQ(v.maneuver().state, ManeuverState::kFollowLane);
+  EXPECT_EQ(v.maneuver().completed_changes, 0);
+  EXPECT_EQ(v.maneuver().aborted_changes, 1);
+  EXPECT_EQ(v.maneuver().desired_direction, 0);
+}
+
+TEST(ManeuverPlanner, RunsOutOfRoomBeforeStopLine) {
+  RoadNetwork net{RoadConfig{}};
+  SignalController signals(SignalController::Timing{});
+  const ManeuverConfig cfg = enabled_config();
+  ManeuverPlanner planner(cfg);
+
+  const auto route_id = net.find_route(Arm::kNorth, 1, Maneuver::kStraight);
+  ASSERT_TRUE(route_id.has_value());
+  const Route& route = net.route(*route_id);
+  std::vector<Vehicle> fleet;
+  // Arm just barely inside the clearance window, then drive past it.
+  fleet.push_back(Vehicle(1, VehicleParams{}, *route_id,
+                          route.stop_line_s - cfg.stop_line_clearance - 0.5,
+                          10.0));
+  Vehicle& v = fleet.front();
+  v.set_lane_change_directive(-1, 0.0);
+  planner.update(v, net, fleet, signals, 0.0);
+  ASSERT_EQ(v.maneuver().state, ManeuverState::kChangeLaneLeft);
+
+  v.advance(0.0, 0.1);  // ~1 m forward: now inside the prohibition zone
+  planner.update(v, net, fleet, signals, 0.1);
+  EXPECT_EQ(v.maneuver().state, ManeuverState::kFollowLane);
+  EXPECT_EQ(v.maneuver().aborted_changes, 1);
+}
+
+TEST(ManeuverPlanner, ObserveGapsSeesLeadAndLag) {
+  RoadNetwork net{RoadConfig{}};
+  ManeuverPlanner planner(enabled_config());
+
+  std::vector<Vehicle> fleet;
+  fleet.push_back(make_vehicle(net, 1, Arm::kNorth, 1, Maneuver::kStraight,
+                               40.0, 8.0));
+  fleet.push_back(make_vehicle(net, 2, Arm::kNorth, 0, Maneuver::kStraight,
+                               60.0, 8.0));  // ahead in the target lane
+  fleet.push_back(make_vehicle(net, 3, Arm::kNorth, 0, Maneuver::kStraight,
+                               20.0, 5.0));  // behind in the target lane
+  const auto target_id = planner.target_route(fleet[0], net, -1);
+  ASSERT_TRUE(target_id.has_value());
+  const GapObservation gap =
+      planner.observe_gaps(fleet[0], net, fleet, net.route(*target_id));
+
+  // Center gaps are 20 m; bumper gaps subtract both half-lengths (4.5 m
+  // cars): 20 - 4.5 = 15.5.
+  EXPECT_NEAR(gap.lead_gap, 15.5, 1e-9);
+  EXPECT_NEAR(gap.lag_gap, 15.5, 1e-9);
+  EXPECT_NEAR(gap.lag_speed, 5.0, 1e-12);
+}
+
+// --- World wiring ----------------------------------------------------------
+
+TEST(ManeuverWorld, EnabledLayerExecutesDirectiveDuringStep) {
+  WorldConfig wc;
+  wc.maneuver.enabled = true;
+  World world(RoadNetwork{RoadConfig{}}, wc);
+  const auto route = world.network().find_route(Arm::kNorth, 1,
+                                                Maneuver::kStraight);
+  ASSERT_TRUE(route.has_value());
+  const AgentId id = world.add_vehicle(VehicleParams{}, *route, 20.0, 8.0);
+  world.find_vehicle(id)->set_lane_change_directive(-1, 10.0);
+
+  for (int i = 0; i < 60; ++i) world.step();
+  const Vehicle* v = world.find_vehicle(id);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->maneuver().completed_changes, 1);
+  EXPECT_EQ(world.network().route(v->route_id()).entry_lane, 0);
+}
+
+TEST(ManeuverWorld, DisabledLayerIsExactlyInert) {
+  // Twin worlds, identical except that one vehicle carries a lane-change
+  // directive. With maneuver.enabled == false the planner never runs, so
+  // the directive must change nothing — positions bit-identical.
+  const auto build = [](bool with_directive) {
+    WorldConfig wc;  // maneuver.enabled defaults to false
+    World world(RoadNetwork{RoadConfig{}}, wc);
+    const auto route = world.network().find_route(Arm::kNorth, 1,
+                                                  Maneuver::kStraight);
+    const AgentId id = world.add_vehicle(VehicleParams{}, *route, 20.0, 8.0);
+    if (with_directive) {
+      world.find_vehicle(id)->set_lane_change_directive(-1, 10.0);
+    }
+    return world;
+  };
+  World a = build(false);
+  World b = build(true);
+  for (int i = 0; i < 80; ++i) {
+    a.step();
+    b.step();
+  }
+  const Vehicle& va = a.vehicles().front();
+  const Vehicle& vb = b.vehicles().front();
+  EXPECT_EQ(va.s(), vb.s());          // lint-ok: R6 bit-identical contract
+  EXPECT_EQ(va.speed(), vb.speed());  // lint-ok: R6 bit-identical contract
+  EXPECT_EQ(vb.lateral_offset(), 0.0);  // lint-ok: R6 exact-inert contract
+  EXPECT_EQ(vb.route_id(), va.route_id());
+  EXPECT_EQ(vb.maneuver().state, ManeuverState::kFollowLane);
+  EXPECT_EQ(vb.maneuver().completed_changes, 0);
+}
+
+}  // namespace
+}  // namespace erpd::sim

@@ -1,0 +1,387 @@
+// Search-mode crash hunting over the seeded scenario generator (DESIGN.md
+// §15). Sweeps a seed range, runs each generated scenario closed-loop with
+// dissemination ON (Method::kOurs), and classifies the outcome:
+//
+//   violation  — a contract (ERPD_REQUIRE/ENSURE) fired anywhere in the run;
+//   collision  — at least one vehicle/vehicle or vehicle/pedestrian impact;
+//   near-miss  — minimum OBB gap dipped below the configured thresholds.
+//
+// Interesting seeds are delta-minimized (ddmin over the spec's spawn /
+// pedestrian / occluder lists) toward the smallest spec that still fails the
+// same way, and emitted as replayable .scn anchors with pinned expectations.
+//
+// Usage:
+//   scenario_search --seeds 0:256 [--minimize] [--out-dir tests/scenarios]
+//                   [--report report.json] [--near-miss 0.75]
+//                   [--ped-near-miss 1.0] [--time-box 300]
+//
+// This is a tool, not simulation source: wall-clock use (the --time-box
+// budget) is deliberate and outside detlint's D3 scope.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/check.hpp"
+#include "edge/system_runner.hpp"
+#include "obs/json.hpp"
+#include "sim/scenario_gen.hpp"
+
+namespace {
+
+using erpd::sim::GenConfig;
+using erpd::sim::ScenarioSpec;
+
+enum class Category { kNone, kNearMiss, kCollision, kViolation };
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kNone: return "none";
+    case Category::kNearMiss: return "near-miss";
+    case Category::kCollision: return "collision";
+    case Category::kViolation: return "violation";
+  }
+  return "?";
+}
+
+struct Outcome {
+  int collisions{0};
+  double min_vehicle_gap{std::numeric_limits<double>::infinity()};
+  double min_ped_gap{std::numeric_limits<double>::infinity()};
+  /// Completed lane changes summed over the fleet (maneuver layer).
+  int lane_changes{0};
+  bool violation{false};
+  std::string violation_what;
+};
+
+struct Options {
+  std::uint64_t seed_begin{0};
+  std::uint64_t seed_end{64};
+  bool minimize{false};
+  std::string out_dir;
+  std::string report_path;
+  double near_miss{0.75};
+  double ped_near_miss{1.0};
+  double time_box_seconds{0.0};  // 0 = unlimited
+  /// Only report (and minimize toward) cases where at least one lane change
+  /// actually completed — for hunting maneuver-layer interactions.
+  bool require_lane_change{false};
+};
+
+/// One closed-loop run of a spec under the canonical search profile.
+/// Contract violations anywhere in construction or simulation are an
+/// outcome, not a crash of the search itself.
+Outcome run_spec(const ScenarioSpec& spec) {
+  Outcome out;
+  try {
+    erpd::sim::Scenario sc =
+        erpd::sim::build_scenario(spec, erpd::sim::search_world_config());
+    erpd::edge::RunnerConfig rc =
+        erpd::edge::make_runner_config(erpd::edge::Method::kOurs);
+    rc.duration = spec.duration;
+    erpd::edge::SystemRunner runner(rc);
+    runner.run(sc);
+    out.collisions = static_cast<int>(sc.world.collisions().size());
+    out.min_vehicle_gap = sc.world.min_vehicle_distance();
+    out.min_ped_gap = sc.world.min_vehicle_pedestrian_distance();
+    for (const erpd::sim::Vehicle& v : sc.world.vehicles()) {
+      out.lane_changes += v.maneuver().completed_changes;
+    }
+  } catch (const erpd::ContractViolation& e) {
+    out.violation = true;
+    out.violation_what = e.what();
+  }
+  return out;
+}
+
+Category classify(const Outcome& o, const Options& opt) {
+  if (o.violation) return Category::kViolation;
+  if (o.collisions > 0) return Category::kCollision;
+  if (o.min_vehicle_gap < opt.near_miss || o.min_ped_gap < opt.ped_near_miss) {
+    return Category::kNearMiss;
+  }
+  return Category::kNone;
+}
+
+/// The minimization predicate: the candidate must fail at least as badly as
+/// the target, and (when hunting maneuver interactions) still execute a lane
+/// change — otherwise ddmin would happily reduce the crash to a variant that
+/// no longer exercises the layer under test.
+bool reproduces(const Outcome& o, Category target, const Options& opt) {
+  if (classify(o, opt) < target) return false;
+  return !opt.require_lane_change || o.lane_changes >= 1;
+}
+
+/// ddmin over the spec's removable elements: spawns, pedestrians, occluders
+/// flattened into one list. Removing a chunk keeps the reduction if the
+/// shrunk spec still reproduces (at least) the original category.
+ScenarioSpec minimize_spec(const ScenarioSpec& seed_spec, Category target,
+                           const Options& opt, int* runs) {
+  struct ElementRef {
+    int list;  // 0 = spawn, 1 = ped, 2 = occluder
+    std::size_t index;
+  };
+  auto rebuild = [&](const ScenarioSpec& base,
+                     const std::vector<bool>& keep,
+                     const std::vector<ElementRef>& refs) {
+    ScenarioSpec s = base;
+    s.spawns.clear();
+    s.pedestrians.clear();
+    s.occluders.clear();
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      if (!keep[i]) continue;
+      const ElementRef& r = refs[i];
+      switch (r.list) {
+        case 0: s.spawns.push_back(base.spawns[r.index]); break;
+        case 1: s.pedestrians.push_back(base.pedestrians[r.index]); break;
+        default: s.occluders.push_back(base.occluders[r.index]); break;
+      }
+    }
+    return s;
+  };
+
+  ScenarioSpec current = seed_spec;
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    std::vector<ElementRef> refs;
+    for (std::size_t i = 0; i < current.spawns.size(); ++i) refs.push_back({0, i});
+    for (std::size_t i = 0; i < current.pedestrians.size(); ++i) {
+      refs.push_back({1, i});
+    }
+    for (std::size_t i = 0; i < current.occluders.size(); ++i) {
+      refs.push_back({2, i});
+    }
+    if (refs.empty()) break;
+
+    for (std::size_t chunk = refs.size(); chunk >= 1 && !shrunk; chunk /= 2) {
+      for (std::size_t start = 0; start < refs.size(); start += chunk) {
+        std::vector<bool> keep(refs.size(), true);
+        const std::size_t end = std::min(start + chunk, refs.size());
+        for (std::size_t i = start; i < end; ++i) keep[i] = false;
+        const ScenarioSpec candidate = rebuild(current, keep, refs);
+        ++*runs;
+        if (reproduces(run_spec(candidate), target, opt)) {
+          current = candidate;
+          shrunk = true;
+          break;
+        }
+      }
+      if (chunk == 1) break;  // size_t underflow guard
+    }
+  }
+  return current;
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "scenario_search: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      const char* v = next_value("--seeds");
+      if (v == nullptr) return std::nullopt;
+      char* colon = nullptr;
+      opt.seed_begin = std::strtoull(v, &colon, 10);
+      if (colon == nullptr || *colon != ':') {
+        std::fprintf(stderr, "scenario_search: --seeds expects A:B, got %s\n",
+                     v);
+        return std::nullopt;
+      }
+      opt.seed_end = std::strtoull(colon + 1, nullptr, 10);
+    } else if (arg == "--minimize") {
+      opt.minimize = true;
+    } else if (arg == "--out-dir") {
+      const char* v = next_value("--out-dir");
+      if (v == nullptr) return std::nullopt;
+      opt.out_dir = v;
+    } else if (arg == "--report") {
+      const char* v = next_value("--report");
+      if (v == nullptr) return std::nullopt;
+      opt.report_path = v;
+    } else if (arg == "--near-miss") {
+      const char* v = next_value("--near-miss");
+      if (v == nullptr) return std::nullopt;
+      opt.near_miss = std::strtod(v, nullptr);
+    } else if (arg == "--ped-near-miss") {
+      const char* v = next_value("--ped-near-miss");
+      if (v == nullptr) return std::nullopt;
+      opt.ped_near_miss = std::strtod(v, nullptr);
+    } else if (arg == "--time-box") {
+      const char* v = next_value("--time-box");
+      if (v == nullptr) return std::nullopt;
+      opt.time_box_seconds = std::strtod(v, nullptr);
+    } else if (arg == "--require-lane-change") {
+      opt.require_lane_change = true;
+    } else {
+      std::fprintf(stderr, "scenario_search: unknown argument %s\n",
+                   arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (opt.seed_end <= opt.seed_begin) {
+    std::fprintf(stderr, "scenario_search: empty seed range\n");
+    return std::nullopt;
+  }
+  return opt;
+}
+
+struct Finding {
+  std::uint64_t seed{0};
+  Category category{Category::kNone};
+  Outcome outcome;
+  std::size_t original_elements{0};
+  std::size_t minimized_elements{0};
+  int minimization_runs{0};
+  std::string file;
+};
+
+std::size_t element_count(const ScenarioSpec& s) {
+  return s.spawns.size() + s.pedestrians.size() + s.occluders.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> parsed = parse_args(argc, argv);
+  if (!parsed.has_value()) return 2;
+  const Options& opt = *parsed;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  const GenConfig gen{};
+  std::vector<Finding> findings;
+  std::uint64_t scanned = 0;
+  bool time_boxed = false;
+
+  for (std::uint64_t seed = opt.seed_begin; seed < opt.seed_end; ++seed) {
+    if (opt.time_box_seconds > 0.0 && elapsed() > opt.time_box_seconds) {
+      time_boxed = true;
+      std::fprintf(stderr,
+                   "scenario_search: time box (%.0fs) hit after %llu seeds\n",
+                   opt.time_box_seconds,
+                   static_cast<unsigned long long>(scanned));
+      break;
+    }
+    ScenarioSpec spec = erpd::sim::generate_scenario(gen, seed);
+    const Outcome out = run_spec(spec);
+    ++scanned;
+    const Category cat = classify(out, opt);
+    if (cat == Category::kNone) continue;
+    if (opt.require_lane_change && out.lane_changes < 1) continue;
+
+    Finding f;
+    f.seed = seed;
+    f.category = cat;
+    f.outcome = out;
+    f.original_elements = element_count(spec);
+
+    ScenarioSpec final_spec = spec;
+    if (opt.minimize) {
+      final_spec = minimize_spec(spec, cat, opt, &f.minimization_runs);
+    }
+    f.minimized_elements = element_count(final_spec);
+
+    // Pin the minimized spec's own outcome (it can differ from the original
+    // seed's numbers once elements are gone).
+    const Outcome pinned = run_spec(final_spec);
+    final_spec.expect.present = !pinned.violation;
+    final_spec.expect.collisions = pinned.collisions;
+    final_spec.expect.min_vehicle_gap = pinned.min_vehicle_gap;
+    final_spec.expect.min_ped_gap = pinned.min_ped_gap;
+    f.outcome = pinned;
+
+    if (!opt.out_dir.empty()) {
+      char name[128];
+      std::snprintf(name, sizeof name, "%s/seed%llu_%s.scn",
+                    opt.out_dir.c_str(),
+                    static_cast<unsigned long long>(seed), to_string(cat));
+      std::string body = "# scenario_search anchor: seed ";
+      body += std::to_string(seed);
+      body += " classified ";
+      body += to_string(cat);
+      if (pinned.lane_changes > 0) {
+        body += " (lane_changes=";
+        body += std::to_string(pinned.lane_changes);
+        body += ")";
+      }
+      body += "\n";
+      body += erpd::sim::emit_spec(final_spec);
+      if (!erpd::obs::write_file(name, body)) {
+        std::fprintf(stderr, "scenario_search: cannot write %s\n", name);
+        return 3;
+      }
+      f.file = name;
+    }
+
+    std::printf(
+        "seed %llu: %s (collisions=%d min_gap=%.3f min_ped_gap=%.3f "
+        "lane_changes=%d elements %zu -> %zu)\n",
+        static_cast<unsigned long long>(seed), to_string(cat),
+        f.outcome.collisions, f.outcome.min_vehicle_gap,
+        f.outcome.min_ped_gap, f.outcome.lane_changes, f.original_elements,
+        f.minimized_elements);
+    findings.push_back(std::move(f));
+  }
+
+  if (!opt.report_path.empty()) {
+    erpd::obs::JsonWriter w;
+    w.begin_object();
+    w.kv("tool", "scenario_search");
+    w.key("seed_range").begin_array();
+    w.value(opt.seed_begin).value(opt.seed_end);
+    w.end_array();
+    w.kv("scanned", static_cast<std::uint64_t>(scanned));
+    w.kv("time_boxed", time_boxed);
+    w.kv("minimize", opt.minimize);
+    w.kv("near_miss_threshold", opt.near_miss);
+    w.kv("ped_near_miss_threshold", opt.ped_near_miss);
+    w.key("findings").begin_array();
+    for (const Finding& f : findings) {
+      w.begin_object();
+      w.kv("seed", static_cast<std::uint64_t>(f.seed));
+      w.kv("category", to_string(f.category));
+      w.kv("collisions", f.outcome.collisions);
+      w.kv("min_vehicle_gap", f.outcome.min_vehicle_gap);
+      w.kv("min_ped_gap", f.outcome.min_ped_gap);
+      w.kv("lane_changes", f.outcome.lane_changes);
+      w.kv("violation", f.outcome.violation);
+      if (f.outcome.violation) {
+        w.kv("violation_what", f.outcome.violation_what);
+      }
+      w.kv("original_elements",
+           static_cast<std::uint64_t>(f.original_elements));
+      w.kv("minimized_elements",
+           static_cast<std::uint64_t>(f.minimized_elements));
+      w.kv("minimization_runs", f.minimization_runs);
+      if (!f.file.empty()) w.kv("file", f.file);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!erpd::obs::write_file(opt.report_path, w.str())) {
+      std::fprintf(stderr, "scenario_search: cannot write report %s\n",
+                   opt.report_path.c_str());
+      return 3;
+    }
+  }
+
+  std::printf("scanned %llu seeds, %zu interesting\n",
+              static_cast<unsigned long long>(scanned), findings.size());
+  return 0;
+}
