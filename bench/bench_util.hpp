@@ -145,6 +145,28 @@ inline std::vector<edge::MethodMetrics> run_seeds(
   return out;
 }
 
+/// run_seeds with the redundancy-aware uplink (coverage-feedback suppression
+/// + delta encoding, DESIGN.md §16) enabled at its default knobs.
+inline std::vector<edge::MethodMetrics> run_seeds_redundant(
+    const ScenarioFactory& factory, sim::ScenarioConfig cfg,
+    edge::Method method, const std::vector<std::uint64_t>& seeds,
+    double duration = 18.0,
+    const net::WirelessConfig& wireless = bench_wireless(),
+    BenchExport* ex = nullptr, const std::string& sweep = {}) {
+  std::vector<edge::MethodMetrics> out;
+  for (std::uint64_t seed : seeds) {
+    cfg.seed = seed;
+    sim::Scenario sc = factory(cfg);
+    edge::RunnerConfig rc = edge::make_runner_config(method, wireless);
+    rc.duration = duration;
+    rc.redundancy.enabled = true;
+    edge::SystemRunner runner(rc);
+    out.push_back(runner.run(sc));
+    if (ex != nullptr) ex->add(sweep, rc, seed, out.back());
+  }
+  return out;
+}
+
 /// Degraded-cellular profile for the fault sections of Figs. 12/14: ~30%
 /// uplink Bernoulli loss, 10% downlink loss, exponential jitter against a
 /// 50 ms delivery deadline, with the edge's staleness decay and track

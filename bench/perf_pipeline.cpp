@@ -71,8 +71,8 @@ struct RunResult {
   obs::RunManifest manifest;
 };
 
-RunResult run_once(edge::Method method, std::uint64_t seed, double duration,
-                   obs::MetricsRegistry* registry = nullptr) {
+RunResult run_once(edge::Method method, bool redundancy, std::uint64_t seed,
+                   double duration, obs::MetricsRegistry* registry = nullptr) {
   sim::ScenarioConfig cfg;
   cfg.seed = seed;
   cfg.speed_kmh = 30.0;
@@ -86,6 +86,7 @@ RunResult run_once(edge::Method method, std::uint64_t seed, double duration,
   edge::RunnerConfig rc = edge::make_runner_config(method, bench::bench_wireless());
   rc.duration = duration;
   rc.metrics = registry;
+  rc.redundancy.enabled = redundancy;
 
   std::vector<double> sensing, extract, merge, track, diss;
   RunResult r;
@@ -184,8 +185,20 @@ int main(int argc, char** argv) {
   const double duration = quick ? 2.0 : 8.0;
   const std::vector<std::uint64_t> seeds =
       quick ? std::vector<std::uint64_t>{1} : std::vector<std::uint64_t>{1, 2};
-  const std::vector<edge::Method> methods = {edge::Method::kOurs,
-                                             edge::Method::kEmp};
+  // One row per (method, redundancy) combination. "Ours-redundancy" is kOurs
+  // with the coverage-feedback + delta-encoding uplink (DESIGN.md §16) turned
+  // on; the plain Ours/EMP rows are unchanged, so their committed behavior
+  // fingerprints must stay bit-identical.
+  struct BenchRow {
+    edge::Method method;
+    bool redundancy;
+    const char* label;
+  };
+  const std::vector<BenchRow> methods = {
+      {edge::Method::kOurs, false, nullptr},
+      {edge::Method::kEmp, false, nullptr},
+      {edge::Method::kOurs, true, "Ours-redundancy"},
+  };
 
   core::set_thread_count(0);  // auto: ERPD_THREADS env or hardware
   const std::size_t auto_threads = core::thread_count();
@@ -203,8 +216,12 @@ int main(int argc, char** argv) {
   w.key("methods").begin_array();
 
   bool all_deterministic = true;
+  double offered_plain = 0.0, offered_redundant = 0.0;
   for (std::size_t mi = 0; mi < methods.size(); ++mi) {
-    const edge::Method method = methods[mi];
+    const edge::Method method = methods[mi].method;
+    const bool redundancy = methods[mi].redundancy;
+    const char* label = methods[mi].label != nullptr ? methods[mi].label
+                                                     : edge::to_string(method);
 
     // Parallel (auto) pass, then the pinned serial pass over the same seeds.
     // The first parallel run also carries the obs registry, whose stage
@@ -218,7 +235,7 @@ int main(int argc, char** argv) {
 
     core::set_thread_count(0);
     for (std::size_t si = 0; si < seeds.size(); ++si) {
-      RunResult r = run_once(method, seeds[si], duration,
+      RunResult r = run_once(method, redundancy, seeds[si], duration,
                              si == 0 ? &registry : nullptr);
       par_wall += r.wall_seconds;
       par_sense += r.sensing_seconds;
@@ -228,7 +245,7 @@ int main(int argc, char** argv) {
     }
     core::set_thread_count(1);
     for (std::size_t si = 0; si < seeds.size(); ++si) {
-      RunResult r = run_once(method, seeds[si], duration);
+      RunResult r = run_once(method, redundancy, seeds[si], duration);
       ser_wall += r.wall_seconds;
       ser_sense += r.sensing_seconds;
       if (!(fingerprint(r.metrics) == fingerprint(par_runs[si].metrics))) {
@@ -246,10 +263,15 @@ int main(int argc, char** argv) {
     // (seeds share the scenario shape; pooling adds noise, not signal).
     const RunResult& head = par_runs.front();
 
-    std::printf("%-10s wall %6.2fs (1 thr: %6.2fs)  speedup %.2fx  "
+    if (method == edge::Method::kOurs) {
+      (redundancy ? offered_redundant : offered_plain) =
+          head.metrics.uplink_offered_bytes_per_frame;
+    }
+
+    std::printf("%-16s wall %6.2fs (1 thr: %6.2fs)  speedup %.2fx  "
                 "%.2fM pts/s  deterministic=%s\n",
-                edge::to_string(method), par_wall, ser_wall, speedup,
-                pts_per_sec / 1e6, deterministic ? "yes" : "NO");
+                label, par_wall, ser_wall, speedup, pts_per_sec / 1e6,
+                deterministic ? "yes" : "NO");
     std::printf("           sensing p50 %.2f ms p95 %.2f ms | merge p50 %.3f "
                 "ms | track+rel p50 %.3f ms | diss p50 %.3f ms\n",
                 head.sensing.p50 * 1e3, head.sensing.p95 * 1e3,
@@ -257,7 +279,7 @@ int main(int argc, char** argv) {
                 head.dissemination.p50 * 1e3);
 
     w.begin_object();
-    w.kv("method", edge::to_string(method));
+    w.kv("method", label);
     obs::append_manifest(w, head.manifest);
     w.kv("frames", static_cast<std::uint64_t>(frames));
     w.kv("raw_points", static_cast<std::uint64_t>(raw_points));
@@ -270,6 +292,8 @@ int main(int argc, char** argv) {
     w.kv("uplink_offered_bytes_per_frame",
          head.metrics.uplink_offered_bytes_per_frame);
     w.kv("uplink_drop_ratio", head.metrics.uplink_drop_ratio);
+    w.kv("uplink_suppressed_bytes_per_frame",
+         head.metrics.uplink_suppressed_bytes_per_frame);
     json_stage(w, "sensing_wall", head.sensing);
     json_stage(w, "extract_max", head.extract);
     json_stage(w, "merge", head.merge);
@@ -281,7 +305,13 @@ int main(int argc, char** argv) {
 
   w.end_array();
   w.kv("deterministic", all_deterministic);
+  const double reduction =
+      offered_redundant > 0.0 ? offered_plain / offered_redundant : 0.0;
+  w.kv("redundancy_offered_reduction", reduction);
   w.end_object();
+  std::printf("\nredundancy offered-bytes reduction: %.2fx "
+              "(%.1f -> %.1f kB/frame)\n",
+              reduction, offered_plain / 1024.0, offered_redundant / 1024.0);
   if (!obs::write_file(out_path, w.str() + "\n")) {
     std::fprintf(stderr, "perf_pipeline: cannot write %s\n", out_path.c_str());
     return 1;

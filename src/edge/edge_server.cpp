@@ -30,6 +30,7 @@ EdgeServer::EdgeServer(const sim::RoadNetwork& net, EdgeConfig cfg)
   ERPD_REQUIRE(cfg_.staleness_decay >= 0.0 && cfg_.staleness_decay < 1.0,
                "EdgeServer: staleness_decay must be in [0,1), got ",
                cfg_.staleness_decay);
+  cfg_.redundancy.validate();
 }
 
 sim::AgentKind EdgeServer::classify_extent(const geom::Aabb& box) {
@@ -190,6 +191,17 @@ FrameOutput EdgeServer::process_frame(
   }
   const std::vector<net::UploadFrame>& uploads = *input;
 
+  // Delta-base acknowledgement: remember the highest admitted upload_seq per
+  // vehicle so the next feedback can tell clients whether their keyframe
+  // made it past loss, capping and the ingest guard.
+  if (cfg_.redundancy.enabled) {
+    for (const net::UploadFrame& f : uploads) {
+      if (f.upload_seq == 0) continue;
+      std::uint64_t& acked = acked_seq_[f.vehicle];
+      acked = std::max(acked, f.upload_seq);
+    }
+  }
+
   // ---- Traffic-map construction (merge + detection) -----------------------
   obs::StageSpan merge_span(metrics_, "stage.merge",
                             &out.timings.merge_seconds);
@@ -246,6 +258,77 @@ FrameOutput EdgeServer::process_frame(
                              info.position, info.velocity, sim::AgentKind::kCar));
   }
   track_span.stop();
+
+  // ---- Coverage feedback (DESIGN.md §16) ----------------------------------
+  // Region = Voronoi cell over the connected fleet (owner = nearest vehicle,
+  // first-lowest-index tie-break, the same rule VehicleClient applies on its
+  // copy of the sites). Instant coverage of a region saturates from uploaded
+  // points and fresh confirmed tracks inside it; an EMA smooths it so one
+  // quiet frame does not flip a region back to "uncovered".
+  if (cfg_.redundancy.enabled && !fleet_.empty()) {
+    const RedundancyConfig& red = cfg_.redundancy;
+    std::vector<Vec2> sites;
+    std::vector<sim::AgentId> owners;
+    sites.reserve(fleet_.size());
+    owners.reserve(fleet_.size());
+    for (const auto& [vid, info] : fleet_) {
+      sites.push_back(info.position);
+      owners.push_back(vid);
+    }
+    const geom::VoronoiPartition part(sites);
+
+    std::vector<double> instant(owners.size(), 0.0);
+    for (const net::UploadFrame& f : uploads) {
+      for (const net::ObjectUpload& obj : f.objects) {
+        if (const auto cell = part.cell_of(obj.centroid_world.xy())) {
+          instant[*cell] +=
+              static_cast<double>(obj.point_count) / red.points_norm;
+        }
+      }
+    }
+    for (const track::Track* tr : confirmed) {
+      if (tr->misses != 0) continue;
+      if (const auto cell = part.cell_of(tr->position())) {
+        instant[*cell] += red.track_weight;
+      }
+    }
+
+    // EMA update, keyed by owner so a region's history follows its vehicle.
+    for (std::size_t i = 0; i < owners.size(); ++i) {
+      double& conf = coverage_[owners[i]];
+      conf += red.coverage_alpha * (std::min(instant[i], 1.0) - conf);
+    }
+    std::erase_if(coverage_, [this](const auto& kv) {
+      return fleet_.find(kv.first) == fleet_.end();
+    });
+    std::erase_if(acked_seq_, [this](const auto& kv) {
+      return fleet_.find(kv.first) == fleet_.end();
+    });
+
+    // One feedback message per connected vehicle, each carrying the full
+    // region map plus that vehicle's delta-base ack.
+    out.feedback.reserve(owners.size());
+    for (std::size_t i = 0; i < owners.size(); ++i) {
+      net::CoverageFeedback fb;
+      fb.to = owners[i];
+      fb.timestamp = t;
+      const auto ack = acked_seq_.find(owners[i]);
+      if (ack != acked_seq_.end()) {
+        fb.last_admitted_upload_seq = ack->second;
+        fb.has_ack = true;
+      }
+      fb.regions.reserve(owners.size());
+      for (std::size_t j = 0; j < owners.size(); ++j) {
+        fb.regions.push_back({owners[j], sites[j], coverage_.at(owners[j])});
+      }
+      out.feedback_bytes += fb.wire_bytes();
+      out.feedback.push_back(std::move(fb));
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("coverage.feedback_msgs").add(out.feedback.size());
+      metrics_->counter("coverage.feedback_bytes").add(out.feedback_bytes);
+    }
+  }
 
   // ---- Relevance estimation -----------------------------------------------
   obs::StageSpan relevance_span(metrics_, "stage.relevance",

@@ -16,6 +16,8 @@
 #include "core/dissemination.hpp"
 #include "core/relevance.hpp"
 #include "edge/ingest_guard.hpp"
+#include "edge/redundancy.hpp"
+#include "geom/voronoi.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
 #include "obs/metrics.hpp"
@@ -65,6 +67,11 @@ struct EdgeConfig {
   /// default; wire-payload validation still runs whenever uploads carry
   /// on-the-wire buffers.
   IngestConfig ingest{};
+  /// Redundancy-aware uplink (DESIGN.md §16): when enabled the server
+  /// maintains per-vehicle coverage confidence over the fleet's Voronoi
+  /// regions and emits one CoverageFeedback per connected vehicle each
+  /// frame. Off by default (no feedback, bit-identical frames).
+  RedundancyConfig redundancy{};
 };
 
 struct ModuleTimings {
@@ -93,6 +100,12 @@ struct FrameOutput {
   /// Ingest admission outcome for this frame (all zero when the guard did
   /// not run).
   IngestStats ingest{};
+  /// Coverage-feedback messages to piggyback on the downlink, one per
+  /// connected vehicle (empty when redundancy is off). The runner routes
+  /// them through the LossyChannel like any other downlink message.
+  std::vector<net::CoverageFeedback> feedback;
+  /// Total modelled wire size of `feedback`.
+  std::size_t feedback_bytes{0};
   ModuleTimings timings{};
 };
 
@@ -143,6 +156,12 @@ class EdgeServer {
   /// into the dissemination decision stream — it must be a pure function of
   /// the key set, never of hash-bucket layout.
   std::map<sim::AgentId, VehicleInfo> fleet_;
+
+  /// EMA coverage confidence per region owner (keyed by owner id, ordered —
+  /// feedback emission iterates it). Pruned with fleet_.
+  std::map<sim::AgentId, double> coverage_;
+  /// Highest admitted upload_seq per vehicle, for the delta-base ack.
+  std::map<sim::AgentId, std::uint64_t> acked_seq_;
 
   std::vector<track::Detection> build_detections(
       const std::vector<net::UploadFrame>& uploads,

@@ -138,16 +138,63 @@ std::vector<net::UploadFrame> IngestGuard::admit(
     kept.vehicle = f.vehicle;
     kept.pose = f.pose;
     kept.timestamp = f.timestamp;
+    kept.upload_seq = f.upload_seq;
     kept.objects.reserve(f.objects.size());
     std::size_t dropped_objects = 0;
     for (const net::ObjectUpload& o : f.objects) {
       if (o.wire_present) {
+        // Delta chunks decode against the last admitted keyframe for this
+        // (vehicle, object). A chunk that *claims* to be a delta (is_delta)
+        // or *looks* like one (magic) takes the delta path — either way the
+        // strict header checks decide, never the sender's flag alone.
+        if (o.is_delta || pc::is_delta(o.wire)) {
+          const pc::EncodedCloud* base = nullptr;
+          const auto vit = bases_.find(f.vehicle);
+          if (vit != bases_.end()) {
+            const auto bit = vit->second.find(o.object_seq);
+            if (bit != vit->second.end()) base = &bit->second;
+          }
+          pc::DecodeResult r = pc::try_decode_delta(o.wire, base);
+          if (r.status != pc::DecodeStatus::kOk) {
+            ++dropped_objects;
+            // Transport-shaped damage (truncation, size, CRC) counts as
+            // corruption; protocol-shaped damage (wrong magic, missing or
+            // mismatched base, bad indices/motion) as a semantic reject.
+            const bool transport =
+                r.status == pc::DecodeStatus::kTruncatedHeader ||
+                r.status == pc::DecodeStatus::kSizeMismatch ||
+                r.status == pc::DecodeStatus::kBadChecksum;
+            if (transport) {
+              ++stats->rejected_crc;
+              if (rejected_crc_ctr_ != nullptr) rejected_crc_ctr_->add();
+            } else {
+              ++stats->rejected_semantic;
+              if (rejected_semantic_ctr_ != nullptr) {
+                rejected_semantic_ctr_->add();
+              }
+            }
+            continue;
+          }
+          net::ObjectUpload checked = o;
+          checked.cloud_world = std::move(r.cloud);
+          checked.wire = pc::EncodedCloud{};
+          checked.wire_present = false;
+          kept.objects.push_back(std::move(checked));
+          continue;
+        }
         pc::DecodeResult r = pc::try_decode(o.wire);
         if (!r.ok()) {
           ++dropped_objects;
           ++stats->rejected_crc;
           if (rejected_crc_ctr_ != nullptr) rejected_crc_ctr_->add();
           continue;
+        }
+        // A validated keyframe with an object identity becomes the delta
+        // base for that identity.
+        if (o.object_seq != 0) {
+          std::map<std::uint64_t, pc::EncodedCloud>& mine = bases_[f.vehicle];
+          mine[o.object_seq] = o.wire;
+          while (mine.size() > kMaxBasesPerVehicle) mine.erase(mine.begin());
         }
         net::ObjectUpload checked = o;
         // Trust only what validated: the decoded buffer is the payload.

@@ -23,6 +23,7 @@
 
 #include "net/message.hpp"
 #include "obs/metrics.hpp"
+#include "pointcloud/encoding.hpp"
 #include "sim/types.hpp"
 
 namespace erpd::edge {
@@ -119,6 +120,12 @@ class IngestGuard {
   /// ordered container makes any future iteration deterministic by
   /// construction instead of hash-layout dependent.
   std::map<sim::AgentId, VehicleState> vehicles_;
+  /// Delta-decoding bases: the last admitted keyframe wire buffer per
+  /// (vehicle, object_seq). Capped per vehicle (lowest seq evicted) so a
+  /// misbehaving sender cannot grow edge memory without bound. Ordered maps
+  /// for deterministic eviction.
+  std::map<sim::AgentId, std::map<std::uint64_t, pc::EncodedCloud>> bases_;
+  static constexpr std::size_t kMaxBasesPerVehicle = 64;
   obs::Counter* rejected_crc_ctr_{nullptr};
   obs::Counter* rejected_semantic_ctr_{nullptr};
   obs::Counter* quarantined_ctr_{nullptr};

@@ -83,6 +83,17 @@ obs::RunManifest make_manifest(const RunnerConfig& cfg,
       .fold(cfg.edge.ingest.quarantine_base)
       .fold(cfg.edge.ingest.quarantine_max)
       .fold(static_cast<std::int64_t>(cfg.edge.ingest.point_budget_per_frame));
+  fp.fold(cfg.redundancy.enabled ? 1 : 0)
+      .fold(cfg.redundancy.coverage_alpha)
+      .fold(cfg.redundancy.points_norm)
+      .fold(cfg.redundancy.track_weight)
+      .fold(cfg.redundancy.suppress_threshold)
+      .fold(cfg.redundancy.keep_fraction)
+      .fold(static_cast<std::int64_t>(cfg.redundancy.min_points))
+      .fold(cfg.redundancy.max_feedback_age)
+      .fold(static_cast<std::int64_t>(cfg.redundancy.seed))
+      .fold(cfg.redundancy.delta_enabled ? 1 : 0)
+      .fold(cfg.redundancy.keyframe_interval);
 
   obs::RunManifest mf;
   mf.scenario = std::string(scenario);

@@ -48,7 +48,12 @@
   X(ingest_rejected_crc)              \
   X(ingest_rejected_semantic)         \
   X(ingest_quarantined_vehicles)      \
-  X(ingest_shed_uploads)
+  X(ingest_shed_uploads)              \
+  X(uplink_suppressed_bytes_per_frame) \
+  X(uplink_capped_bytes_per_frame)    \
+  X(uplink_lost_bytes_per_frame)      \
+  X(coverage_feedback_msgs)           \
+  X(coverage_feedback_lost_msgs)
 
 // Every exported FrameTrace field, in struct declaration order.
 #define ERPD_FRAME_TRACE_FIELDS(X) \

@@ -74,6 +74,7 @@ std::vector<net::UploadFrame> apply_uplink_cap(
     kept.vehicle = f.vehicle;
     kept.pose = f.pose;
     kept.timestamp = f.timestamp;
+    kept.upload_seq = f.upload_seq;
     for (net::ObjectUpload& obj : f.objects) {
       if (budget.try_grant(obj.bytes)) {
         kept.objects.push_back(std::move(obj));
@@ -119,6 +120,9 @@ void apply_wire_faults(std::vector<net::UploadFrame>& delivered,
                        std::map<sim::AgentId, net::UploadFrame>& last_clean) {
   const auto encode_objects = [&](net::UploadFrame& f) {
     for (net::ObjectUpload& o : f.objects) {
+      // Redundancy uploads already carry their real wire bytes (keyframe or
+      // delta chunk); mangling must hit those, not a re-encoded keyframe.
+      if (o.wire_present) continue;
       o.wire = pc::encode(o.cloud_world, enc_cfg);
       o.wire_present = true;
     }
@@ -201,6 +205,10 @@ void apply_wire_faults(std::vector<net::UploadFrame>& delivered,
 SystemRunner::SystemRunner(RunnerConfig cfg) : cfg_(cfg) {
   cfg_.wireless.validate();
   cfg_.fault.validate();
+  cfg_.redundancy.validate();
+  // One source of truth: both ends of the link use the runner's knobs.
+  cfg_.client.redundancy = cfg_.redundancy;
+  cfg_.edge.redundancy = cfg_.redundancy;
   ERPD_REQUIRE(cfg_.duration > 0.0,
                "SystemRunner: duration must be > 0, got ", cfg_.duration);
   ERPD_REQUIRE(cfg_.frames_per_pipeline >= 1,
@@ -243,7 +251,9 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   double sum_diss = 0.0;
   double sum_downlink = 0.0;
   double sum_offered = 0.0;
-  double sum_dropped = 0.0;
+  double sum_lost = 0.0;
+  double sum_capped = 0.0;
+  double sum_suppressed = 0.0;
   int pipeline_frames = 0;
 
   // Fault-injection bookkeeping. With an inactive FaultConfig the channel
@@ -326,16 +336,23 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       double max_extract = 0.0;
       double sensing_wall = 0.0;  // summed per-vehicle scan time (CPU cost)
       std::size_t raw_points = 0;
+      std::size_t suppressed_bytes = 0;
       for (const ClientFrameStats& s : stats) {
         max_extract = std::max(max_extract, s.processing_seconds);
         sensing_wall += s.sensing_seconds;
         raw_points += s.raw_points;
+        suppressed_bytes += s.suppressed_bytes;
       }
 
       // --- Uplink channel faults ---
+      // Byte accounting: every offered byte gets exactly one fate this
+      // frame — delivered to the edge, lost to channel faults, or shed by
+      // the shared cap. (Bytes the redundancy layer avoided sending were
+      // never offered; they are tracked separately as suppressed.)
       std::size_t offered_bytes = 0;
       for (const net::UploadFrame& f : uploads) offered_bytes += f.total_bytes();
       upload_frames_offered += uploads.size();
+      std::size_t lost_bytes = 0;
       if (faults) {
         // Per-message Bernoulli loss + burst outages: a lost upload frame
         // never reaches the edge (and never consumes cap budget).
@@ -344,6 +361,7 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
         for (net::UploadFrame& f : uploads) {
           if (channel.uplink_lost(f.vehicle, frame, world.time())) {
             ++upload_frames_lost;
+            lost_bytes += f.total_bytes();
           } else {
             kept.push_back(std::move(f));
           }
@@ -357,6 +375,19 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
                                     cfg_.wireless.uplink_budget_bytes(),
                                     static_cast<std::size_t>(frame), metrics)
                  : std::move(uploads);
+
+      // Cap shedding measured before wire faults: corruption can *add* bytes
+      // (duplicated frames), which must never be mistaken for negative
+      // shedding. This closes the fate partition exactly.
+      std::size_t delivered_pre_faults = 0;
+      for (const net::UploadFrame& f : delivered) {
+        delivered_pre_faults += f.total_bytes();
+      }
+      ERPD_ENSURE(lost_bytes + delivered_pre_faults <= offered_bytes,
+                  "uplink byte partition: lost ", lost_bytes, " + delivered ",
+                  delivered_pre_faults, " exceeds offered ", offered_bytes);
+      const std::size_t capped_bytes =
+          offered_bytes - lost_bytes - delivered_pre_faults;
 
       // --- Payload corruption & Byzantine senders ---
       // Applied to what actually crosses the wire (post-cap). Mangled
@@ -374,12 +405,15 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       }
       up_meter.add(delivered_bytes);
       sum_offered += static_cast<double>(offered_bytes);
-      sum_dropped += static_cast<double>(offered_bytes - delivered_bytes);
+      sum_lost += static_cast<double>(lost_bytes);
+      sum_capped += static_cast<double>(capped_bytes);
+      sum_suppressed += static_cast<double>(suppressed_bytes);
       if (metrics != nullptr) {
         metrics->counter("uplink.offered_bytes").add(offered_bytes);
         metrics->counter("uplink.delivered_bytes").add(delivered_bytes);
-        metrics->counter("uplink.dropped_bytes")
-            .add(offered_bytes - delivered_bytes);
+        metrics->counter("uplink.lost_bytes").add(lost_bytes);
+        metrics->counter("uplink.capped_bytes").add(capped_bytes);
+        metrics->counter("uplink.suppressed_bytes").add(suppressed_bytes);
       }
 
       // --- Edge server ---
@@ -437,7 +471,22 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
         }
       }
       m.disseminations += static_cast<int>(fo.selected.size());
-      down_meter.add(fo.downlink_bytes);
+      // Coverage feedback rides the same lossy downlink: a dropped message
+      // simply leaves the vehicle's last feedback in place until it ages out
+      // (max_feedback_age), after which the vehicle uploads everything again.
+      for (const net::CoverageFeedback& fb : fo.feedback) {
+        ++m.coverage_feedback_msgs;
+        if (faults && channel.feedback_lost(fb.to, frame, world.time())) {
+          ++m.coverage_feedback_lost_msgs;
+          if (metrics != nullptr) {
+            metrics->counter("coverage.feedback_lost_msgs").add();
+          }
+          continue;
+        }
+        const auto it = clients.find(fb.to);
+        if (it != clients.end()) it->second.receive_feedback(fb);
+      }
+      down_meter.add(fo.downlink_bytes + fo.feedback_bytes);
       m.coasted_track_frames += static_cast<int>(fo.coasting_tracks);
       m.stale_relevance_frames += static_cast<int>(fo.stale_candidates);
       m.ingest_rejected_crc += static_cast<int>(fo.ingest.rejected_crc);
@@ -454,7 +503,7 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
           (faults ? channel.uplink_jitter(frame) : 0.0);
       // The frame's dissemination completes when its slowest message lands.
       const double t_down = net::transfer_delay(
-          fo.downlink_bytes, cfg_.wireless.downlink_mbps,
+          fo.downlink_bytes + fo.feedback_bytes, cfg_.wireless.downlink_mbps,
           cfg_.wireless.base_latency) + max_down_jitter;
       sum_extract += max_extract;
       sum_upload += t_upload;
@@ -547,7 +596,11 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   if (pipeline_frames > 0) {
     const double n = pipeline_frames;
     m.uplink_offered_bytes_per_frame = sum_offered / n;
-    m.uplink_drop_ratio = sum_offered > 0.0 ? sum_dropped / sum_offered : 0.0;
+    m.uplink_drop_ratio =
+        sum_offered > 0.0 ? (sum_lost + sum_capped) / sum_offered : 0.0;
+    m.uplink_suppressed_bytes_per_frame = sum_suppressed / n;
+    m.uplink_capped_bytes_per_frame = sum_capped / n;
+    m.uplink_lost_bytes_per_frame = sum_lost / n;
     m.avg_objects_detected = sum_objects / n;
     m.e2e_latency = sum_e2e / n;
     m.extraction_seconds = sum_extract / n;

@@ -68,6 +68,10 @@ struct RunnerConfig {
   /// Deterministic channel fault injection. Default-constructed config is
   /// inactive: the run is bit-identical to the lossless pipeline.
   net::FaultConfig fault{};
+  /// Redundancy-aware uplink (DESIGN.md §16). The runner copies this single
+  /// source of truth into both ClientConfig and EdgeConfig so vehicle and
+  /// edge always agree on thresholds. Off by default: bit-identical runs.
+  RedundancyConfig redundancy{};
   /// Optional observer of the edge's per-frame dissemination decisions (as
   /// selected, before channel faults). Used by the golden-scenario harness.
   std::function<void(int frame, const std::vector<net::Dissemination>&)>
@@ -112,7 +116,9 @@ struct MethodMetrics {
   /// cap. With uplink_bytes_per_frame (delivered) this separates demand from
   /// goodput when the cap binds.
   double uplink_offered_bytes_per_frame{0.0};
-  /// Fraction of offered uplink bytes dropped by the cap, in [0, 1].
+  /// Fraction of offered uplink bytes that never reached the edge (lost to
+  /// channel faults or shed by the cap), in [0, 1]. Exactly
+  /// (lost + capped) / offered — see the per-frame byte partition below.
   double uplink_drop_ratio{0.0};
   // Map quality.
   double avg_objects_detected{0.0};
@@ -149,6 +155,22 @@ struct MethodMetrics {
   int ingest_quarantined_vehicles{0};
   /// Objects shed by the per-frame ingest point budget under overload.
   int ingest_shed_uploads{0};
+  // Redundancy-aware uplink (DESIGN.md §16; all zero with the knob off).
+  // Every offered uplink byte has exactly one fate per frame:
+  //   offered == delivered-to-edge + lost (channel faults) + capped (shared
+  //   uplink budget); suppressed bytes were never offered at all and are
+  //   accounted separately as savings.
+  /// Uplink bytes avoided per pipeline frame by coverage suppression and
+  /// delta encoding (client-side savings; never part of `offered`).
+  double uplink_suppressed_bytes_per_frame{0.0};
+  /// Offered uplink bytes shed by the shared uplink cap, per pipeline frame.
+  double uplink_capped_bytes_per_frame{0.0};
+  /// Offered uplink bytes lost to channel faults, per pipeline frame.
+  double uplink_lost_bytes_per_frame{0.0};
+  /// Coverage-feedback messages the edge emitted / that the lossy downlink
+  /// dropped before delivery.
+  int coverage_feedback_msgs{0};
+  int coverage_feedback_lost_msgs{0};
 };
 
 class SystemRunner {

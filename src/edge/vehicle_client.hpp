@@ -15,7 +15,9 @@
 // to driver knowledge and scored. The edge server never reads truth ids.
 
 #include <optional>
+#include <vector>
 
+#include "edge/redundancy.hpp"
 #include "geom/voronoi.hpp"
 #include "net/message.hpp"
 #include "obs/metrics.hpp"
@@ -37,6 +39,10 @@ struct ClientConfig {
   /// Distance within which an extracted object is matched to a ground-truth
   /// agent for harness bookkeeping.
   double truth_match_radius{2.5};
+  /// Redundancy-aware uplink knobs (coverage-feedback suppression + delta
+  /// encoding). Off by default: make_upload is then byte-identical to the
+  /// pre-redundancy pipeline.
+  RedundancyConfig redundancy{};
   /// Optional observability registry (not owned). make_upload records its
   /// scan time into stage.sense, its extraction time into stage.extract,
   /// and bumps client.raw_points / client.upload_bytes — from whichever
@@ -49,6 +55,10 @@ struct ClientFrameStats {
   std::size_t raw_points{0};
   std::size_t uploaded_points{0};
   std::size_t uploaded_bytes{0};
+  /// Uplink bytes avoided this frame by the redundancy layer: coverage
+  /// suppression savings plus delta-vs-keyframe savings. Zero when
+  /// RedundancyConfig is off.
+  std::size_t suppressed_bytes{0};
   /// Wall-clock seconds spent in the simulated LiDAR scan alone — the
   /// denominator of the bench's sensing_points_per_sec.
   double sensing_seconds{0.0};
@@ -77,11 +87,17 @@ class VehicleClient {
                                const std::vector<sim::AgentSnapshot>* truth =
                                    nullptr);
 
-  /// Drop all temporal pipeline state (frame-differencing baselines). Called
-  /// by the harness when the vehicle reconnects after a radio blackout: the
-  /// last processed frame may be arbitrarily old, so motion estimates
-  /// derived from it would be garbage.
+  /// Drop all temporal pipeline state (frame-differencing baselines, delta
+  /// keyframe bases, cached coverage feedback). Called by the harness when
+  /// the vehicle reconnects after a radio blackout: the last processed frame
+  /// may be arbitrarily old, so motion estimates derived from it would be
+  /// garbage — and the edge may have forgotten our keyframes.
   void reset_pipeline();
+
+  /// Deliver a coverage-feedback message from the edge (DESIGN.md §16).
+  /// Applied from the *next* make_upload on: suppression decisions and delta
+  /// acks read the latest fresh feedback. Ignored when redundancy is off.
+  void receive_feedback(const net::CoverageFeedback& fb);
 
   /// Contract-check that a sensor pose is fully finite. make_upload refuses
   /// to build an upload from a non-finite pose: every uploaded cloud is
@@ -93,6 +109,35 @@ class VehicleClient {
   sim::AgentId vehicle_;
   ClientConfig cfg_;
   pc::MovingObjectExtractor extractor_;
+
+  /// Per-object delta state: identity (object_seq) assigned by nearest-
+  /// centroid matching across frames, plus the last keyframe sent under that
+  /// identity. Vector order = creation order (deterministic).
+  struct TrackedObject {
+    std::uint64_t object_seq{0};
+    geom::Vec3 centroid{};
+    pc::EncodedCloud keyframe{};
+    std::uint64_t keyframe_upload_seq{0};
+    double keyframe_time{0.0};
+    int uploads_since_keyframe{0};
+    double last_seen{0.0};
+    bool matched{false};  // scratch flag within one make_upload
+  };
+  std::vector<TrackedObject> objects_;
+  std::optional<net::CoverageFeedback> feedback_;
+  std::uint64_t next_upload_seq_{1};
+  std::uint64_t next_object_seq_{1};
+
+  /// Find-or-create the TrackedObject for an extracted centroid (greedy
+  /// nearest unmatched entry within 3 m).
+  TrackedObject& match_object(const geom::Vec3& centroid, double t);
+
+  /// True when `pos` falls in a well-covered *foreign* feedback region.
+  bool region_suppressed(geom::Vec2 pos) const;
+
+  /// Seed-hashed down-sample to keep_fraction, floored at min_points.
+  pc::PointCloud suppress_points(const pc::PointCloud& pts,
+                                 std::uint64_t frame_tag) const;
 
   static sim::AgentId match_truth(
       const std::vector<sim::AgentSnapshot>& truth, geom::Vec2 centroid,

@@ -113,7 +113,9 @@ class FrameBudget {
 };
 
 /// Transfer completion delay for a message of `bytes` over a link of
-/// `mbps`, including base latency.
+/// `mbps`, including base latency. Contract-checks (ERPD_REQUIRE ->
+/// ContractViolation) that the bandwidth is positive: a non-positive rate
+/// has no physical delay and must never silently model a free link.
 double transfer_delay(std::size_t bytes, double mbps, double base_latency);
 
 /// Running bandwidth accounting for the evaluation plots.

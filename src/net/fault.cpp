@@ -62,6 +62,13 @@ bool LossyChannel::downlink_lost(sim::AgentId to, int track_id, int frame,
   return lost;
 }
 
+bool LossyChannel::feedback_lost(sim::AgentId to, int frame, double t) const {
+  return in_outage(t) || vehicle_offline(to, t) ||
+         (cfg_.downlink_loss > 0.0 &&
+          uniform(kFeedbackDrop, static_cast<std::uint64_t>(to),
+                  static_cast<std::uint64_t>(frame)) < cfg_.downlink_loss);
+}
+
 double LossyChannel::uplink_jitter(int frame) const {
   if (cfg_.jitter_mean <= 0.0) return 0.0;
   const double u = uniform(kUplinkJitter, static_cast<std::uint64_t>(frame), 0);

@@ -211,6 +211,13 @@ class LossyChannel {
   bool downlink_lost(sim::AgentId to, int track_id, int frame,
                      double t) const;
 
+  /// Should this coverage-feedback message be lost on the wire? Feedback
+  /// rides the downlink, so it shares the downlink fate model (burst
+  /// outages, recipient offline, Bernoulli downlink_loss) but draws from its
+  /// own hash stream: feedback fates never perturb dissemination fates.
+  /// Not counter-billed here — the runner bills coverage.feedback_lost_msgs.
+  bool feedback_lost(sim::AgentId to, int frame, double t) const;
+
   /// Exponential latency jitter added to the shared uplink transfer this
   /// frame (one draw per frame: the uplink is one shared pipe).
   double uplink_jitter(int frame) const;
@@ -252,6 +259,7 @@ class LossyChannel {
     kUplinkCorrupt = 0x6f4a,
     kDownlinkCorrupt = 0x7c5b,
     kCorruptPayload = 0x8d6c,
+    kFeedbackDrop = 0x9e7d,
   };
 
   /// Uniform [0, 1) draw, a pure function of (seed, stream, a, b).

@@ -9,6 +9,7 @@
 // vehicles, as decided by the dissemination algorithm.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "geom/mat4.hpp"
@@ -35,18 +36,31 @@ struct ObjectUpload {
   std::size_t bytes{0};
   /// Decoded payload, world frame.
   pc::PointCloud cloud_world;
-  /// Actual on-the-wire buffer, populated only when the fault layer mangles
-  /// payloads (wire_present). The edge then validates it with pc::try_decode
-  /// instead of trusting cloud_world; on the clean path the buffer is never
-  /// materialized, so the lossless pipeline carries zero extra bytes.
+  /// Actual on-the-wire buffer, populated when the fault layer mangles
+  /// payloads or when the redundancy layer ships delta/keyframe chunks
+  /// (wire_present). The edge then validates it with pc::try_decode /
+  /// pc::try_decode_delta instead of trusting cloud_world; on the plain
+  /// lossless path the buffer is never materialized, so that pipeline
+  /// carries zero extra bytes.
   pc::EncodedCloud wire{};
   bool wire_present{false};
+  /// Stable per-uploader object identity assigned by the vehicle client's
+  /// local matcher; the delta protocol keys keyframe bases by
+  /// (vehicle, object_seq). 0 means "no identity" (redundancy off).
+  std::uint64_t object_seq{0};
+  /// True when `wire` carries a delta chunk against the last keyframe sent
+  /// under the same object_seq (DESIGN.md §16).
+  bool is_delta{false};
 };
 
 struct UploadFrame {
   sim::AgentId vehicle{sim::kInvalidAgent};
   geom::Pose pose{};
   double timestamp{0.0};
+  /// Monotone per-vehicle upload counter, echoed back in CoverageFeedback
+  /// acks so the client can tell which keyframes the edge has actually
+  /// admitted before sending deltas against them. 0 = unsequenced.
+  std::uint64_t upload_seq{0};
   std::vector<ObjectUpload> objects;
   /// Pose + framing overhead in bytes.
   static constexpr std::size_t kFrameOverhead = 64;
@@ -67,6 +81,39 @@ struct Dissemination {
   sim::AgentId about{sim::kInvalidAgent};
   std::size_t bytes{0};
   double relevance{0.0};
+};
+
+/// One map region in a coverage-feedback message: the Voronoi cell owned by
+/// `owner`'s last reported position, with the edge's confidence that the
+/// region is already well observed (confirmed tracks + recent upload
+/// density, EMA-smoothed), in [0, 1].
+struct CoverageRegion {
+  sim::AgentId owner{sim::kInvalidAgent};
+  geom::Vec2 site{};
+  double confidence{0.0};
+};
+
+/// Edge -> vehicle coverage feedback, piggybacked on the downlink
+/// (DESIGN.md §16). Carries the full region map (so the receiver can locate
+/// any extracted object's region by nearest site) plus an upload-sequence
+/// ack used to gate delta encoding. Rides the lossy channel: loss or
+/// staleness degrades to more conservative uploading, never to data loss.
+struct CoverageFeedback {
+  sim::AgentId to{sim::kInvalidAgent};
+  double timestamp{0.0};
+  /// Highest UploadFrame::upload_seq the edge has admitted from `to`
+  /// (0 = nothing admitted yet, has_ack false).
+  std::uint64_t last_admitted_upload_seq{0};
+  bool has_ack{false};
+  std::vector<CoverageRegion> regions;
+
+  /// Modeled wire size: framing + ack overhead, then a packed
+  /// (id, site as 2 x f32, confidence as u8) record per region.
+  static constexpr std::size_t kOverheadBytes = 16;
+  static constexpr std::size_t kBytesPerRegion = 16;
+  std::size_t wire_bytes() const {
+    return kOverheadBytes + regions.size() * kBytesPerRegion;
+  }
 };
 
 }  // namespace erpd::net

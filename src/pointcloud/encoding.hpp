@@ -14,6 +14,7 @@
 // in-process signature and contract-checks that the buffer validates.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "pointcloud/pointcloud.hpp"
@@ -31,6 +32,17 @@ struct EncodingConfig {
 inline constexpr std::size_t kEncodedHeaderBytes =
     4 /*count*/ + 4 /*crc32*/ + 8 /*resolution*/ + 3 * 8 /*origin*/;
 inline constexpr std::size_t kBytesPerPoint = 6;  // 3 x uint16 offsets
+
+/// Delta chunk constants (DESIGN.md §16). A delta buffer is distinguished
+/// from a keyframe by a magic word where the keyframe stores its resolution;
+/// the two exact-size equations are mutually unsatisfiable, so neither codec
+/// can misparse the other's valid output.
+inline constexpr std::size_t kDeltaHeaderBytes =
+    4 /*added count*/ + 4 /*crc32*/ + 4 /*magic*/ + 4 /*base crc*/ +
+    4 /*removed count*/ + 8 /*resolution*/ + 3 * 8 /*motion*/ +
+    3 * 8 /*added origin*/;
+inline constexpr std::size_t kDeltaBytesPerRemoved = 4;  // u32 base index
+inline constexpr std::uint32_t kDeltaMagic = 0x544C4544u;  // "DELT"
 
 /// Serialized cloud: self-describing byte buffer.
 struct EncodedCloud {
@@ -50,6 +62,12 @@ enum class DecodeStatus : std::uint8_t {
   kBadChecksum,      ///< CRC32 over (header-sans-crc + payload) disagrees
   kBadResolution,    ///< resolution non-finite or <= 0
   kBadOrigin,        ///< any origin component non-finite
+  // Delta-chunk statuses (try_decode_delta only).
+  kNotDelta,         ///< magic word missing: buffer is not a delta chunk
+  kMissingBase,      ///< no base supplied, or the base buffer is invalid
+  kBaseMismatch,     ///< base CRC in the header != supplied base's CRC
+  kBadRemovedIndex,  ///< removed indices not ascending or out of base range
+  kBadMotion,        ///< any motion component non-finite
 };
 
 const char* to_string(DecodeStatus s);
@@ -91,5 +109,40 @@ PointCloud decode(const EncodedCloud& enc);
 /// schedulers that only need data sizes). Contract-checks that the size
 /// computation cannot overflow for adversarial counts.
 std::size_t encoded_size_bytes(std::size_t point_count);
+
+// ---------------------------------------------------------------------------
+// Delta mode (DESIGN.md §16): encode a cloud relative to a previously
+// *accepted* keyframe. The chunk carries a rigid per-axis motion (quantized
+// to the resolution grid), the ascending indices of base points that
+// disappeared, and a keyframe-style packed block of points that appeared.
+// Reconstruction = (base + motion) minus removed, then added — in that
+// order, so it is deterministic given (delta, base).
+// ---------------------------------------------------------------------------
+
+/// True when the buffer is large enough to carry the delta magic word and
+/// does. A dispatch hint only: try_decode_delta re-checks and classifies.
+bool is_delta(const EncodedCloud& enc);
+
+/// Size of a delta chunk with the given payload counts. Contract-checks
+/// against overflow for adversarial counts.
+std::size_t delta_size_bytes(std::size_t removed, std::size_t added);
+
+/// Encode `cloud` as a delta against `base` (a keyframe produced by
+/// `encode`). Returns nullopt — caller must fall back to a keyframe — when
+/// the base is invalid or was encoded at a different resolution, when the
+/// added block would exceed the 16-bit offset range, or when the delta would
+/// not actually be smaller than a fresh keyframe. Reconstruction error is
+/// bounded by the quantization resolution per axis, exactly like `encode`.
+std::optional<EncodedCloud> encode_delta(const PointCloud& cloud,
+                                         const EncodedCloud& base,
+                                         const EncodingConfig& cfg = {});
+
+/// Total validation + reconstruction of an untrusted delta chunk against an
+/// optional base keyframe. Never throws and never invokes UB for arbitrary
+/// bytes in either buffer; every failure mode is a DecodeStatus. Passing
+/// base == nullptr classifies an otherwise-valid delta as kMissingBase so
+/// the ingest layer can demand a keyframe re-send.
+DecodeResult try_decode_delta(const EncodedCloud& enc,
+                              const EncodedCloud* base);
 
 }  // namespace erpd::pc

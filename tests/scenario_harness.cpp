@@ -35,6 +35,7 @@ edge::RunnerConfig make_fault_runner(edge::Method method,
   rc.edge.tracker.max_coast_frames = fc.max_coast_frames;
   rc.edge.ingest.enabled = fc.harden_ingest;
   rc.edge.ingest.point_budget_per_frame = fc.ingest_point_budget;
+  rc.redundancy.enabled = fc.redundancy;
   return rc;
 }
 
@@ -171,6 +172,23 @@ std::vector<FaultCase> default_fault_matrix() {
     c.band = {1.0, 0.90, 3.0};
     matrix.push_back(c);
   }
+  // Redundancy-aware uplink case (DESIGN.md §16). Appended after the PR 6
+  // rows so existing index-based references keep their meaning.
+  {
+    // Coverage feedback under 30% downlink loss: feedback messages share the
+    // downlink fate model, so suppression/delta decisions run on stale or
+    // missing coverage claims and the delta-ack path must recover from lost
+    // keyframes (fallback keyframing), all without degrading safety.
+    FaultCase c;
+    c.name = "coverage-feedback-loss";
+    c.fault.seed = 0xfa09;
+    c.fault.downlink_loss = 0.30;
+    c.redundancy = true;
+    c.staleness_decay = 0.10;
+    c.max_coast_frames = 4;
+    c.band = {1.0, 0.90, 3.0};
+    matrix.push_back(c);
+  }
   return matrix;
 }
 
@@ -246,6 +264,16 @@ std::uint64_t metrics_fingerprint(const edge::MethodMetrics& m) {
     h = fold(h, static_cast<std::uint64_t>(m.ingest_rejected_semantic));
     h = fold(h, static_cast<std::uint64_t>(m.ingest_quarantined_vehicles));
     h = fold(h, static_cast<std::uint64_t>(m.ingest_shed_uploads));
+  }
+  // Same pattern for the redundancy layer: folded only when it engaged, so
+  // pre-redundancy fingerprints (golden seed-42 included) stay valid.
+  if (m.coverage_feedback_msgs != 0 ||
+      m.uplink_suppressed_bytes_per_frame != 0.0) {
+    h = fold(h, m.uplink_suppressed_bytes_per_frame);
+    h = fold(h, m.uplink_capped_bytes_per_frame);
+    h = fold(h, m.uplink_lost_bytes_per_frame);
+    h = fold(h, static_cast<std::uint64_t>(m.coverage_feedback_msgs));
+    h = fold(h, static_cast<std::uint64_t>(m.coverage_feedback_lost_msgs));
   }
   return h;
 }

@@ -58,6 +58,9 @@ struct FaultCase {
   /// on — again the concrete id only exists once the scenario is built.
   bool byzantine_vehicle{false};
   double byzantine_start{0.0};
+  /// Enable the redundancy-aware uplink (coverage feedback + delta encoding,
+  /// DESIGN.md §16) for this case.
+  bool redundancy{false};
   ToleranceBand band{};
 };
 

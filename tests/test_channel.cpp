@@ -140,8 +140,16 @@ TEST(TransferDelay, LinearInBytes) {
   // 1 MB over 8 Mbps = 1 s plus base latency.
   EXPECT_NEAR(transfer_delay(1000000, 8.0, 0.01), 1.01, 1e-9);
   EXPECT_DOUBLE_EQ(transfer_delay(0, 8.0, 0.01), 0.01);
-  // Degenerate bandwidth returns base latency.
-  EXPECT_DOUBLE_EQ(transfer_delay(1000, 0.0, 0.02), 0.02);
+}
+
+TEST(TransferDelay, NonPositiveBandwidthIsAContractViolation) {
+  // A zero/negative rate used to silently model an infinitely fast link
+  // (bare base latency). It must trip the contract layer instead.
+  EXPECT_THROW(transfer_delay(1000, 0.0, 0.02), erpd::ContractViolation);
+  EXPECT_THROW(transfer_delay(1000, -8.0, 0.02), erpd::ContractViolation);
+  EXPECT_THROW(transfer_delay(0, 0.0, 0.0), erpd::ContractViolation);
+  // The boundary: any strictly positive rate is a real link.
+  EXPECT_GT(transfer_delay(1000, 1e-9, 0.0), 0.0);
 }
 
 TEST(BandwidthMeter, Accumulates) {

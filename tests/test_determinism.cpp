@@ -169,6 +169,16 @@ void expect_identical(const edge::MethodMetrics& a,
   EXPECT_EQ(a.ingest_quarantined_vehicles, b.ingest_quarantined_vehicles)
       << threads;
   EXPECT_EQ(a.ingest_shed_uploads, b.ingest_shed_uploads) << threads;
+  EXPECT_EQ(a.uplink_suppressed_bytes_per_frame,
+            b.uplink_suppressed_bytes_per_frame)
+      << threads;
+  EXPECT_EQ(a.uplink_capped_bytes_per_frame, b.uplink_capped_bytes_per_frame)
+      << threads;
+  EXPECT_EQ(a.uplink_lost_bytes_per_frame, b.uplink_lost_bytes_per_frame)
+      << threads;
+  EXPECT_EQ(a.coverage_feedback_msgs, b.coverage_feedback_msgs) << threads;
+  EXPECT_EQ(a.coverage_feedback_lost_msgs, b.coverage_feedback_lost_msgs)
+      << threads;
 }
 
 TEST(Determinism, SystemRunnerOursIdenticalAcrossThreadCounts) {

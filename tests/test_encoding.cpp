@@ -2,10 +2,14 @@
 
 #include "core/check.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include "pointcloud/encoding.hpp"
@@ -272,6 +276,366 @@ TEST(TryDecode, FuzzNeverThrowsOnArbitraryBytes) {
     DecodeResult r;
     ASSERT_NO_THROW(r = try_decode(e)) << "iter " << iter;
     if (r.ok()) {
+      EXPECT_EQ(r.cloud.size(), r.point_count) << "iter " << iter;
+    } else {
+      EXPECT_TRUE(r.cloud.empty()) << "iter " << iter;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta chunks (DESIGN.md §16): encode_delta / try_decode_delta.
+// ---------------------------------------------------------------------------
+
+// 0.25 m is exactly representable in binary floating point and the cloud
+// below sits on its lattice, so keyframe round-trips are bit-exact and the
+// delta matcher's behavior is fully predictable in these tests.
+constexpr double kRes = 0.25;
+const EncodingConfig kResCfg{kRes};
+
+PointCloud lattice_cloud(int n, int salt = 0) {
+  PointCloud c;
+  for (int i = 0; i < n; ++i) {
+    // Distinct x per index => all points distinct.
+    c.push_back({kRes * (i + 40 * salt), kRes * ((i * 7) % 23),
+                 kRes * ((i * 3) % 11)});
+  }
+  return c;
+}
+
+std::vector<Vec3> sorted_points(const PointCloud& c) {
+  std::vector<Vec3> v(c.points().begin(), c.points().end());
+  std::sort(v.begin(), v.end(), [](const Vec3& a, const Vec3& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.z < b.z;
+  });
+  return v;
+}
+
+// Displace the first ten points ±50 m in x with alternating sign, so the
+// centroid — and therefore the encoder's global motion estimate — is exactly
+// unchanged: the matcher keeps every survivor and the delta carries ten
+// removes plus ten adds. (Centroid-*shifting* churn legitimately defeats the
+// global-motion matcher and falls back to a keyframe; see FallsBackWhen...)
+PointCloud churned(const PointCloud& c) {
+  PointCloud next;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    Vec3 p = c[i];
+    if (i < 10) p.x += (i % 2 == 0) ? 50.0 : -50.0;
+    next.push_back(p);
+  }
+  return next;
+}
+
+TEST(EncodeDelta, UnchangedCloudProducesHeaderOnlyDelta) {
+  const PointCloud c = lattice_cloud(60);
+  const EncodedCloud base = encode(c, kResCfg);
+  const std::optional<EncodedCloud> d = encode_delta(c, base, kResCfg);
+  ASSERT_TRUE(d.has_value());
+  // Nothing moved: no adds, no removes — the delta is just the header.
+  EXPECT_EQ(d->size_bytes(), kDeltaHeaderBytes);
+  EXPECT_TRUE(is_delta(*d));
+  const DecodeResult r = try_decode_delta(*d, &base);
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(sorted_points(r.cloud), sorted_points(c));
+}
+
+TEST(EncodeDelta, RigidTranslationRidesTheMotionField) {
+  const PointCloud c = lattice_cloud(60);
+  const EncodedCloud base = encode(c, kResCfg);
+  PointCloud moved;
+  const Vec3 shift{1.0, -0.5, 0.25};  // multiples of kRes
+  for (const Vec3& p : c.points()) {
+    moved.push_back({p.x + shift.x, p.y + shift.y, p.z + shift.z});
+  }
+  const std::optional<EncodedCloud> d = encode_delta(moved, base, kResCfg);
+  ASSERT_TRUE(d.has_value());
+  // The whole move is absorbed by the motion header: still no adds/removes.
+  EXPECT_EQ(d->size_bytes(), kDeltaHeaderBytes);
+  const DecodeResult r = try_decode_delta(*d, &base);
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(sorted_points(r.cloud), sorted_points(moved));
+}
+
+TEST(EncodeDelta, ChurnBecomesAddsAndRemoves) {
+  const PointCloud old_cloud = lattice_cloud(80);
+  const EncodedCloud base = encode(old_cloud, kResCfg);
+  const PointCloud next = churned(old_cloud);
+  const std::optional<EncodedCloud> d = encode_delta(next, base, kResCfg);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->size_bytes(),
+            delta_size_bytes(/*removed=*/10, /*added=*/10));
+  EXPECT_LT(d->size_bytes(), encoded_size_bytes(next.size()));
+  const DecodeResult r = try_decode_delta(*d, &base);
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.cloud.size(), next.size());
+  EXPECT_EQ(sorted_points(r.cloud), sorted_points(next));
+}
+
+TEST(EncodeDelta, ReconstructionStaysWithinOneResolutionStep) {
+  // Matched points ride the motion field exactly; fresh off-lattice points
+  // are re-quantized into the added block. Either way every source point
+  // must end up with a reconstructed point within one resolution step per
+  // axis, and the count is exact (matched + added == new cloud size).
+  std::mt19937_64 rng(21);
+  const EncodingConfig cfg{0.02};
+  const PointCloud old_cloud = random_cloud(120, 6.0, rng);
+  const EncodedCloud base = encode(old_cloud, cfg);
+  const PointCloud decoded = decode(base);
+  const Vec3 shift{cfg.resolution * 18, cfg.resolution * -9, 0.0};
+  PointCloud next;
+  for (const Vec3& p : decoded.points()) {
+    next.push_back({p.x + shift.x, p.y + shift.y, p.z + shift.z});
+  }
+  // Six fresh off-lattice points in centroid-neutral pairs, so the global
+  // motion estimate stays the pure shift.
+  Vec3 c{0.0, 0.0, 0.0};
+  for (const Vec3& p : next.points()) {
+    c.x += p.x;
+    c.y += p.y;
+    c.z += p.z;
+  }
+  const double n = static_cast<double>(next.size());
+  c = {c.x / n, c.y / n, c.z / n};
+  const Vec3 offs[3] = {
+      {1.234, 0.567, 0.089}, {-2.01, 1.73, -0.05}, {0.33, -2.9, 0.11}};
+  for (const Vec3& o : offs) {
+    next.push_back({c.x + o.x, c.y + o.y, c.z + o.z});
+    next.push_back({c.x - o.x, c.y - o.y, c.z - o.z});
+  }
+  const std::optional<EncodedCloud> d = encode_delta(next, base, cfg);
+  ASSERT_TRUE(d.has_value());
+  const DecodeResult r = try_decode_delta(*d, &base);
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  ASSERT_EQ(r.cloud.size(), next.size());
+  for (const Vec3& p : next.points()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Vec3& q : r.cloud.points()) {
+      best = std::min(best, std::max({std::abs(p.x - q.x), std::abs(p.y - q.y),
+                                      std::abs(p.z - q.z)}));
+    }
+    EXPECT_LT(best, cfg.resolution) << "no reconstructed point near source";
+  }
+}
+
+TEST(EncodeDelta, FallsBackWhenDeltaWouldNotShrink) {
+  // One new point vs. a 20-point base: ~20 removal indices cost more than a
+  // fresh keyframe, so the encoder must decline.
+  const EncodedCloud base = encode(lattice_cloud(20), kResCfg);
+  PointCloud next;
+  next.push_back({500.0, 500.0, 0.0});
+  EXPECT_FALSE(encode_delta(next, base, kResCfg).has_value());
+}
+
+TEST(EncodeDelta, RejectsMismatchedResolutionAndBadBase) {
+  const PointCloud c = lattice_cloud(30);
+  const EncodedCloud base = encode(c, kResCfg);
+  // Config resolution differs from the base's: no silent cross-grid deltas.
+  EXPECT_FALSE(encode_delta(c, base, {0.02}).has_value());
+  // A corrupted base never becomes a delta reference.
+  EncodedCloud mangled = base;
+  mangled.bytes[10] ^= 0x40;
+  EXPECT_FALSE(encode_delta(c, mangled, kResCfg).has_value());
+  // An invalid encoder config is a caller bug, not a soft fallback.
+  EXPECT_THROW(encode_delta(c, base, {0.0}), erpd::ContractViolation);
+}
+
+TEST(TryDecode, DeltaAndKeyframeDecodersRejectEachOthersBuffers) {
+  const PointCloud c = lattice_cloud(40);
+  const EncodedCloud base = encode(c, kResCfg);
+  const std::optional<EncodedCloud> d =
+      encode_delta(churned(c), base, kResCfg);
+  ASSERT_TRUE(d.has_value());
+  // The size equations are mutually unsatisfiable (40 + 6a vs 76 + 4r + 6a),
+  // so neither decoder can accept the other's valid output.
+  EXPECT_EQ(try_decode(*d).status, DecodeStatus::kSizeMismatch);
+  EXPECT_EQ(try_decode_delta(base, &base).status, DecodeStatus::kNotDelta);
+  EXPECT_FALSE(is_delta(base));
+  // A keyframe too short to even hold a delta header is classified as
+  // truncated, never misread as a delta.
+  const EncodedCloud tiny = encode(lattice_cloud(3), kResCfg);
+  EXPECT_EQ(try_decode_delta(tiny, &base).status,
+            DecodeStatus::kTruncatedHeader);
+}
+
+TEST(TryDecode, DeltaTruncationAndSizeLies) {
+  const PointCloud c = lattice_cloud(40);
+  const EncodedCloud base = encode(c, kResCfg);
+  const std::optional<EncodedCloud> d0 =
+      encode_delta(churned(c), base, kResCfg);
+  ASSERT_TRUE(d0.has_value());
+  for (std::size_t n = 0; n < kDeltaHeaderBytes; n += 7) {
+    EncodedCloud e;
+    e.bytes.assign(d0->bytes.begin(),
+                   d0->bytes.begin() + static_cast<long>(n));
+    EXPECT_EQ(try_decode_delta(e, &base).status,
+              DecodeStatus::kTruncatedHeader)
+        << n;
+  }
+  for (const int delta : {-4, -1, 1, 6}) {
+    EncodedCloud e = *d0;
+    e.bytes.resize(static_cast<std::size_t>(
+        static_cast<long>(d0->bytes.size()) + delta));
+    EXPECT_EQ(try_decode_delta(e, &base).status, DecodeStatus::kSizeMismatch)
+        << delta;
+  }
+  // A lying removed-count (CRC dutifully recomputed) is a size mismatch.
+  EncodedCloud lying = *d0;
+  lying.bytes[16] ^= 0x01;
+  refresh_crc(lying);
+  EXPECT_EQ(try_decode_delta(lying, &base).status, DecodeStatus::kSizeMismatch);
+}
+
+TEST(TryDecode, DeltaFlippedBitFailsChecksum) {
+  const PointCloud c = lattice_cloud(40);
+  const EncodedCloud base = encode(c, kResCfg);
+  const std::optional<EncodedCloud> d =
+      encode_delta(churned(c), base, kResCfg);
+  ASSERT_TRUE(d.has_value());
+  // (Counts at [0,4) and [16,20) are size-checked before the CRC, so flip
+  // the stored CRC itself, the base binding, the motion field and payload.)
+  for (const std::size_t byte :
+       {std::size_t{5}, std::size_t{13}, std::size_t{30},
+        d->bytes.size() - 1}) {
+    EncodedCloud e = *d;
+    e.bytes[byte] ^= 0x08;
+    EXPECT_EQ(try_decode_delta(e, &base).status, DecodeStatus::kBadChecksum)
+        << byte;
+  }
+}
+
+TEST(TryDecode, DeltaMissingOrMismatchedBase) {
+  const PointCloud c = lattice_cloud(40);
+  const EncodedCloud base = encode(c, kResCfg);
+  const std::optional<EncodedCloud> d =
+      encode_delta(churned(c), base, kResCfg);
+  ASSERT_TRUE(d.has_value());
+  // No base at hand: the edge lost (or never admitted) the keyframe.
+  EXPECT_EQ(try_decode_delta(*d, nullptr).status, DecodeStatus::kMissingBase);
+  // A corrupted base cannot serve either.
+  EncodedCloud mangled = base;
+  mangled.bytes[12] ^= 0x20;
+  EXPECT_EQ(try_decode_delta(*d, &mangled).status, DecodeStatus::kMissingBase);
+  // A *valid but different* base is caught by the base-CRC binding.
+  const EncodedCloud other = encode(lattice_cloud(40, /*salt=*/3), kResCfg);
+  EXPECT_EQ(try_decode_delta(*d, &other).status, DecodeStatus::kBaseMismatch);
+}
+
+TEST(TryDecode, DeltaRejectsBadRemovedIndicesMotionAndResolution) {
+  const PointCloud c = lattice_cloud(40);
+  const EncodedCloud base = encode(c, kResCfg);
+  const std::optional<EncodedCloud> d =
+      encode_delta(churned(c), base, kResCfg);
+  ASSERT_TRUE(d.has_value());  // 10 removed indices in the payload
+
+  // Removed index beyond the base's point count.
+  EncodedCloud big = *d;
+  big.bytes[kDeltaHeaderBytes] = 0xff;
+  big.bytes[kDeltaHeaderBytes + 1] = 0xff;
+  refresh_crc(big);
+  EXPECT_EQ(try_decode_delta(big, &base).status,
+            DecodeStatus::kBadRemovedIndex);
+  // Non-ascending removed indices (swap the first two).
+  EncodedCloud swapped = *d;
+  for (int i = 0; i < 4; ++i) {
+    std::swap(swapped.bytes[kDeltaHeaderBytes + static_cast<std::size_t>(i)],
+              swapped.bytes[kDeltaHeaderBytes + 4 + static_cast<std::size_t>(i)]);
+  }
+  refresh_crc(swapped);
+  EXPECT_EQ(try_decode_delta(swapped, &base).status,
+            DecodeStatus::kBadRemovedIndex);
+  // Non-finite motion / bad resolution / non-finite added origin.
+  EncodedCloud bad_motion = *d;
+  patch_f64(bad_motion, 28, std::numeric_limits<double>::quiet_NaN());
+  refresh_crc(bad_motion);
+  EXPECT_EQ(try_decode_delta(bad_motion, &base).status,
+            DecodeStatus::kBadMotion);
+  EncodedCloud bad_res = *d;
+  patch_f64(bad_res, 20, -1.0);
+  refresh_crc(bad_res);
+  EXPECT_EQ(try_decode_delta(bad_res, &base).status,
+            DecodeStatus::kBadResolution);
+  EncodedCloud bad_origin = *d;
+  patch_f64(bad_origin, 52, std::numeric_limits<double>::infinity());
+  refresh_crc(bad_origin);
+  EXPECT_EQ(try_decode_delta(bad_origin, &base).status,
+            DecodeStatus::kBadOrigin);
+}
+
+// Structure-aware fuzz for the delta decoder, mirroring the keyframe fuzz:
+// totality under random bytes, mutated valid deltas, truncations, splices
+// and hostile base choices. Runs in the CI fuzz-smoke lane (TryDecode.*)
+// under ASan+UBSan.
+TEST(TryDecode, DeltaFuzzNeverThrowsOnArbitraryBytes) {
+  std::mt19937_64 rng(0xde17a);
+  std::uniform_int_distribution<int> byte(0, 255);
+
+  // A pool of valid (delta, base) pairs to mutate.
+  std::vector<std::pair<EncodedCloud, EncodedCloud>> pool;
+  for (int k = 0; k < 4; ++k) {
+    const PointCloud old_cloud = lattice_cloud(40 + 20 * k, /*salt=*/k);
+    const EncodedCloud base = encode(old_cloud, kResCfg);
+    const std::optional<EncodedCloud> d =
+        encode_delta(churned(old_cloud), base, kResCfg);
+    ASSERT_TRUE(d.has_value());
+    pool.emplace_back(*d, base);
+  }
+
+  for (int iter = 0; iter < 10000; ++iter) {
+    const auto& [valid, base] = pool[iter % pool.size()];
+    EncodedCloud e;
+    switch (iter % 4) {
+      case 0: {  // random bytes, magic planted half the time
+        e.bytes.resize(rng() % 300);
+        for (auto& b : e.bytes) b = static_cast<std::uint8_t>(byte(rng));
+        if (e.bytes.size() >= 12 && (rng() & 1) != 0) {
+          for (int i = 0; i < 4; ++i) {
+            e.bytes[8 + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(kDeltaMagic >> (8 * i));
+          }
+        }
+        break;
+      }
+      case 1: {  // valid delta with random bit flips
+        e = valid;
+        const int flips = 1 + static_cast<int>(rng() % 8);
+        for (int k = 0; k < flips; ++k) {
+          e.bytes[rng() % e.bytes.size()] ^=
+              static_cast<std::uint8_t>(1u << (rng() % 8));
+        }
+        break;
+      }
+      case 2: {  // truncated or extended at a random cut
+        e = valid;
+        e.bytes.resize(rng() % (e.bytes.size() + 32));
+        break;
+      }
+      default: {  // delta spliced with a keyframe buffer
+        const std::size_t cut = rng() % (valid.bytes.size() + 1);
+        e.bytes.assign(valid.bytes.begin(),
+                       valid.bytes.begin() + static_cast<long>(cut));
+        e.bytes.insert(e.bytes.end(), base.bytes.begin(), base.bytes.end());
+        break;
+      }
+    }
+    // Base choice is hostile too: the right base, a wrong base, a mangled
+    // base, or none at all.
+    const EncodedCloud* bp = nullptr;
+    EncodedCloud mangled_base;
+    switch (rng() % 4) {
+      case 0: bp = &base; break;
+      case 1: bp = &pool[(iter + 1) % pool.size()].second; break;
+      case 2:
+        mangled_base = base;
+        mangled_base.bytes[rng() % mangled_base.bytes.size()] ^= 0x01;
+        bp = &mangled_base;
+        break;
+      default: bp = nullptr; break;
+    }
+    DecodeResult r;
+    ASSERT_NO_THROW(r = try_decode_delta(e, bp)) << "iter " << iter;
+    if (r.status == DecodeStatus::kOk) {
       EXPECT_EQ(r.cloud.size(), r.point_count) << "iter " << iter;
     } else {
       EXPECT_TRUE(r.cloud.empty()) << "iter " << iter;

@@ -128,6 +128,29 @@ TEST_F(FaultMatrix, CorruptionCaseQuarantinesTheByzantineVehicle) {
   EXPECT_TRUE(m.ego_safe);
 }
 
+TEST_F(FaultMatrix, CoverageFeedbackLossCaseExercisesRedundancy) {
+  const edge::MethodMetrics& m = find("coverage-feedback-loss").metrics;
+  // The redundancy layer actually engaged: the edge emitted feedback, the
+  // 30% lossy downlink dropped some of it, and suppression/delta encoding
+  // saved uplink bytes despite the stale coverage claims.
+  EXPECT_GT(m.coverage_feedback_msgs, 0);
+  EXPECT_GT(m.coverage_feedback_lost_msgs, 0);
+  EXPECT_LT(m.coverage_feedback_lost_msgs, m.coverage_feedback_msgs);
+  EXPECT_GT(m.uplink_suppressed_bytes_per_frame, 0.0);
+  // Redundancy reduces demand relative to the clean run — and must never
+  // increase it (suppression and deltas only remove bytes).
+  EXPECT_LT(m.uplink_offered_bytes_per_frame,
+            find("no-faults").metrics.uplink_offered_bytes_per_frame);
+  // The byte fate partition holds in aggregate: per-frame averages of lost +
+  // capped never exceed offered.
+  EXPECT_LE(m.uplink_lost_bytes_per_frame + m.uplink_capped_bytes_per_frame,
+            m.uplink_offered_bytes_per_frame + 1e-9);
+  // Safety floor enforced by the band check above; the delta path must not
+  // starve detection either.
+  EXPECT_GT(m.avg_objects_detected, 0.0);
+  EXPECT_TRUE(m.ego_safe);
+}
+
 TEST_F(FaultMatrix, OverloadCaseShedsWithoutLosingSafety) {
   const edge::MethodMetrics& m = find("overload-shed").metrics;
   // The 600-point budget sits far below fleet demand, so shedding engages

@@ -186,6 +186,11 @@ TEST(Schema, MethodMetricsKeysMatchGolden) {
       "ingest_rejected_semantic",
       "ingest_quarantined_vehicles",
       "ingest_shed_uploads",
+      "uplink_suppressed_bytes_per_frame",
+      "uplink_capped_bytes_per_frame",
+      "uplink_lost_bytes_per_frame",
+      "coverage_feedback_msgs",
+      "coverage_feedback_lost_msgs",
   };
   EXPECT_EQ(edge::method_metrics_keys(), golden);
 }

@@ -30,6 +30,13 @@ import sys
 # LiDAR acceleration index work: >= 10x the 3.43M pre-index Ours figure.
 RATCHET_FLOORS = {"Ours": 34.0e6}
 
+# Minimum uplink offered-bytes reduction of the redundancy-aware uplink
+# (coverage-feedback suppression + delta encoding): Ours offered bytes must
+# be at least this multiple of Ours-redundancy offered bytes. The sim is
+# deterministic, so the ratio is bit-stable across hardware; any dip means a
+# behavior change weakened the suppression loop.
+REDUNDANCY_REDUCTION_FLOOR = 3.0
+
 
 def methods_by_name(doc):
     return {m["method"]: m for m in doc["methods"]}
@@ -88,6 +95,29 @@ def main(argv):
                     f"{name}: behavior fingerprint {fresh_fp} != baseline"
                     f" {base_fp} - simulated behavior drifted"
                 )
+
+    # Redundancy ratchet: skipped only for baselines predating the
+    # "Ours-redundancy" row (back-compat); once the row exists in the fresh
+    # artifact the reduction must stay above the floor.
+    red = fresh_methods.get("Ours-redundancy")
+    plain = fresh_methods.get("Ours")
+    if red is not None and plain is not None:
+        offered_red = red["uplink_offered_bytes_per_frame"]
+        offered_plain = plain["uplink_offered_bytes_per_frame"]
+        ratio = offered_plain / offered_red if offered_red > 0.0 else 0.0
+        status = "ok" if ratio >= REDUNDANCY_REDUCTION_FLOOR else "REGRESSION"
+        print(
+            f"redundancy offered-bytes reduction {ratio:.2f}x"
+            f" (floor {REDUNDANCY_REDUCTION_FLOOR:.1f}x) {status}"
+        )
+        if ratio < REDUNDANCY_REDUCTION_FLOOR:
+            failures.append(
+                f"redundancy reduction {ratio:.2f}x <"
+                f" {REDUNDANCY_REDUCTION_FLOOR:.1f}x floor - the"
+                " coverage-feedback/delta uplink stopped earning its bytes"
+            )
+    elif "Ours-redundancy" in methods_by_name(base):
+        failures.append("Ours-redundancy: missing from fresh run")
 
     for msg in failures:
         print(f"check_bench: FAIL - {msg}", file=sys.stderr)
