@@ -18,6 +18,7 @@ EdgeServer::EdgeServer(const sim::RoadNetwork& net, EdgeConfig cfg)
     : net_(net),
       cfg_(cfg),
       guard_(cfg.ingest),
+      admission_(cfg.service),
       tracker_(cfg.tracker),
       rules_(net, cfg.rules),
       predictor_(net, cfg.predictor) {
@@ -187,6 +188,18 @@ FrameOutput EdgeServer::process_frame(
   const std::vector<net::UploadFrame>* input = &uploads_in;
   if (guard_.should_run(uploads_in)) {
     admitted = guard_.admit(uploads_in, t, &out.ingest);
+    input = &admitted;
+  }
+
+  // ---- Deadline admission (DESIGN.md §17) ---------------------------------
+  // Service mode only: charge each upload's estimated decode+merge cost
+  // against the per-frame latency budget, deferring or shedding what does
+  // not fit. Runs after the guard so only validated work competes for
+  // budget. Off by default: this frame stays bit-identical.
+  if (cfg_.service.enabled) {
+    std::vector<net::UploadFrame> batch =
+        (input == &admitted) ? std::move(admitted) : *input;
+    admitted = admission_.run(std::move(batch), t, &out.service);
     input = &admitted;
   }
   const std::vector<net::UploadFrame>& uploads = *input;

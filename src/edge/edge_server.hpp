@@ -17,6 +17,7 @@
 #include "core/relevance.hpp"
 #include "edge/ingest_guard.hpp"
 #include "edge/redundancy.hpp"
+#include "edge/service.hpp"
 #include "geom/voronoi.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
@@ -72,6 +73,11 @@ struct EdgeConfig {
   /// regions and emits one CoverageFeedback per connected vehicle each
   /// frame. Off by default (no feedback, bit-identical frames).
   RedundancyConfig redundancy{};
+  /// Service-mode deadline admission (DESIGN.md §17): when enabled the
+  /// decode+merge stage runs under a per-frame latency budget and the
+  /// SLO-aware admission controller sheds/defers work that would blow it.
+  /// Off by default (no admission pass, bit-identical frames).
+  ServiceConfig service{};
 };
 
 struct ModuleTimings {
@@ -106,6 +112,9 @@ struct FrameOutput {
   std::vector<net::CoverageFeedback> feedback;
   /// Total modelled wire size of `feedback`.
   std::size_t feedback_bytes{0};
+  /// Deadline-admission outcome for this frame (all zero when service mode
+  /// is off).
+  ServiceStats service{};
   ModuleTimings timings{};
 };
 
@@ -131,13 +140,19 @@ class EdgeServer {
   void attach_metrics(obs::MetricsRegistry* registry) {
     metrics_ = registry;
     guard_.attach_metrics(registry);
+    admission_.attach_metrics(registry);
   }
+
+  /// Objects still parked in the admission controller's deferral lot (the
+  /// run-level fate identity's residual term).
+  std::size_t service_parked() const { return admission_.parked_count(); }
 
  private:
   const sim::RoadNetwork& net_;
   EdgeConfig cfg_;
   obs::MetricsRegistry* metrics_{nullptr};
   IngestGuard guard_;
+  AdmissionController admission_;
   track::MultiObjectTracker tracker_;
   track::RuleEngine rules_;
   track::TrajectoryPredictor predictor_;

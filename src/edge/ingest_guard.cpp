@@ -71,10 +71,16 @@ void IngestGuard::note_offense(VehicleState& vs, double t,
   vs.strikes += 1.0;
   if (vs.strikes < static_cast<double>(cfg_.strike_threshold)) return;
   vs.strikes = 0.0;
+  // Saturating exponential backoff: the window doubles per repeat offense
+  // exactly quarantine_base -> quarantine_max and then holds. The exponent
+  // stops advancing once the window is clamped, so a vehicle that misbehaves
+  // for hours can never overflow exp2 past the max.
   const double backoff =
-      cfg_.quarantine_base * std::exp2(static_cast<double>(vs.quarantines));
-  vs.quarantine_until = t + std::min(backoff, cfg_.quarantine_max);
-  ++vs.quarantines;
+      std::min(cfg_.quarantine_base * std::exp2(static_cast<double>(
+                                          vs.quarantines)),
+               cfg_.quarantine_max);
+  vs.quarantine_until = t + backoff;
+  if (backoff < cfg_.quarantine_max) ++vs.quarantines;
   ++stats->quarantine_events;
   if (quarantined_ctr_ != nullptr) quarantined_ctr_->add();
 }
@@ -222,6 +228,11 @@ std::vector<net::UploadFrame> IngestGuard::admit(
         note_offense(vs, t, stats);
       } else {
         vs.strikes = std::max(0.0, vs.strikes - cfg_.strike_decay);
+        // Clean readmission: a clean frame after the quarantine window has
+        // expired resets the backoff ladder, so the vehicle's next
+        // quarantine starts at quarantine_base again (the readmission
+        // contract documented in ingest_guard.hpp).
+        if (vs.quarantines > 0 && t >= vs.quarantine_until) vs.quarantines = 0;
       }
       vs.last_timestamp = f.timestamp;
       vs.last_position = f.pose.position.xy();

@@ -51,7 +51,10 @@ struct IngestConfig {
   /// a while to erase a reputation).
   double strike_decay{0.25};
   /// First quarantine lasts quarantine_base seconds; each repeat doubles the
-  /// window up to quarantine_max (exponential-backoff readmission).
+  /// window exactly quarantine_base -> quarantine_max and then saturates (a
+  /// perpetual offender sits at quarantine_max, never beyond). A clean frame
+  /// admitted after the window expires resets the ladder: the next
+  /// quarantine starts at quarantine_base again.
   double quarantine_base{1.0};
   double quarantine_max{16.0};
   /// Total points admitted per frame across the fleet; 0 disables shedding.

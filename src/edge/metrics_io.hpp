@@ -53,7 +53,14 @@
   X(uplink_capped_bytes_per_frame)    \
   X(uplink_lost_bytes_per_frame)      \
   X(coverage_feedback_msgs)           \
-  X(coverage_feedback_lost_msgs)
+  X(coverage_feedback_lost_msgs)      \
+  X(uplink_backpressure_bytes_per_frame) \
+  X(service_backpressure_uploads)     \
+  X(service_arrived_objects)          \
+  X(service_admitted_objects)         \
+  X(service_deferred_objects)         \
+  X(service_shed_objects)             \
+  X(service_parked_residual)
 
 // Every exported FrameTrace field, in struct declaration order.
 #define ERPD_FRAME_TRACE_FIELDS(X) \

@@ -1,0 +1,201 @@
+#include "edge/service.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "net/channel.hpp"
+
+namespace erpd::edge {
+
+void ServiceConfig::validate() const {
+  ERPD_REQUIRE(queue_lane_depth > 0,
+               "ServiceConfig: queue_lane_depth must be > 0, got ",
+               queue_lane_depth);
+  ERPD_REQUIRE(max_defer_frames >= 0,
+               "ServiceConfig: max_defer_frames must be >= 0, got ",
+               max_defer_frames);
+  ERPD_REQUIRE(cost_per_object_ns > 0 || cost_per_point_ns > 0,
+               "ServiceConfig: cost model is all-zero; every upload would be "
+               "free and the deadline budget could never shed");
+}
+
+AdmissionController::AdmissionController(ServiceConfig cfg)
+    : cfg_(cfg) {
+  cfg_.validate();
+}
+
+void AdmissionController::attach_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    arrived_ctr_ = nullptr;
+    admitted_ctr_ = nullptr;
+    deferred_ctr_ = nullptr;
+    shed_ctr_ = nullptr;
+    granted_ns_ctr_ = nullptr;
+    denied_ns_ctr_ = nullptr;
+    return;
+  }
+  arrived_ctr_ = &registry->counter("service.arrived_objects");
+  admitted_ctr_ = &registry->counter("service.admitted_objects");
+  deferred_ctr_ = &registry->counter("service.deferred_objects");
+  shed_ctr_ = &registry->counter("service.shed_objects");
+  granted_ns_ctr_ = &registry->counter("service.budget_granted_ns");
+  denied_ns_ctr_ = &registry->counter("service.budget_denied_ns");
+}
+
+namespace {
+
+/// One admission candidate: either a fresh object (age 0, pointing into the
+/// incoming frames) or a carried one from the parking lot.
+struct Candidate {
+  net::ObjectUpload obj;
+  sim::AgentId vehicle{sim::kInvalidAgent};
+  geom::Pose pose{};
+  double timestamp{0.0};
+  std::uint64_t upload_seq{0};
+  int age{0};
+  std::uint64_t order{0};
+};
+
+}  // namespace
+
+std::vector<net::UploadFrame> AdmissionController::run(
+    std::vector<net::UploadFrame> uploads, double t, ServiceStats* stats) {
+  (void)t;
+  ERPD_REQUIRE(stats != nullptr, "AdmissionController::run: stats is null");
+  *stats = ServiceStats{};
+
+  // Budget 0 = latency shedding off: pass everything through, but still
+  // account arrivals so the fate identity holds trivially.
+  if (cfg_.decode_merge_budget_us == 0) {
+    for (const net::UploadFrame& f : uploads) {
+      stats->arrived_objects += f.objects.size();
+      stats->admitted_objects += f.objects.size();
+      for (const net::ObjectUpload& o : f.objects) {
+        stats->admitted_cost_ns += cost_ns(o);
+      }
+    }
+    ERPD_ENSURE(parked_.empty(),
+                "AdmissionController: parked objects with a zero budget; the "
+                "budget knob must not change mid-run");
+    if (arrived_ctr_ != nullptr) arrived_ctr_->add(stats->arrived_objects);
+    if (admitted_ctr_ != nullptr) admitted_ctr_->add(stats->admitted_objects);
+    stats->carried_objects = 0;
+    return uploads;
+  }
+
+  // Gather candidates: the parking lot first (ages by one frame), then every
+  // fresh object. Order counters are assigned in input order, which is
+  // deterministic because the guard/runner already emit uploads in a fixed
+  // order.
+  std::vector<Candidate> candidates;
+  candidates.reserve(parked_.size() + 16);
+  for (Parked& p : parked_) {
+    candidates.push_back(Candidate{std::move(p.obj), p.vehicle, p.pose,
+                                   p.timestamp, p.upload_seq, p.age + 1,
+                                   p.order});
+  }
+  stats->carried_objects = parked_.size();
+  parked_.clear();
+
+  // Fresh frames keep their skeletons (pose sync for the fleet registry)
+  // even when every object is deferred or shed, mirroring the ingest guard.
+  std::vector<net::UploadFrame> fresh = std::move(uploads);
+  for (net::UploadFrame& f : fresh) {
+    for (net::ObjectUpload& o : f.objects) {
+      candidates.push_back(Candidate{std::move(o), f.vehicle, f.pose,
+                                     f.timestamp, f.upload_seq, 0,
+                                     next_order_++});
+      ++stats->arrived_objects;
+    }
+    f.objects.clear();
+  }
+
+  // Admission order: oldest deferrals first (they expire soonest and their
+  // payload is already stale), then biggest clouds first — the same
+  // keep-the-most-perception-value rule as the guard's point-budget shed —
+  // with (vehicle, order) as the deterministic tie-break.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.age != b.age) return a.age > b.age;
+              if (a.obj.point_count != b.obj.point_count) {
+                return a.obj.point_count > b.obj.point_count;
+              }
+              if (a.vehicle != b.vehicle) return a.vehicle < b.vehicle;
+              return a.order < b.order;
+            });
+
+  net::LatencyBudget budget(cfg_.decode_merge_budget_us * 1000ull);
+  budget.attach(granted_ns_ctr_, denied_ns_ctr_);
+
+  std::vector<Candidate> admitted;
+  admitted.reserve(candidates.size());
+  for (Candidate& c : candidates) {
+    const std::uint64_t cost = cost_ns(c.obj);
+    if (budget.try_grant(cost)) {
+      stats->admitted_cost_ns += cost;
+      ++stats->admitted_objects;
+      admitted.push_back(std::move(c));
+      continue;
+    }
+    // Denied: defer if the object is still fresh enough and the parking lot
+    // has room, otherwise shed. Both are final fates for this frame.
+    if (c.age < cfg_.max_defer_frames && parked_.size() < cfg_.defer_capacity) {
+      ++stats->deferred_objects;
+      parked_.push_back(Parked{std::move(c.obj), c.vehicle, c.pose,
+                               c.timestamp, c.upload_seq, c.age, c.order});
+    } else {
+      ++stats->shed_objects;
+    }
+  }
+
+  // Exactly-once fate partition, checked every frame.
+  ERPD_ENSURE(stats->arrived_objects + stats->carried_objects ==
+                  stats->admitted_objects + stats->deferred_objects +
+                      stats->shed_objects,
+              "AdmissionController: fate partition leaked: arrived ",
+              stats->arrived_objects, " + carried ", stats->carried_objects,
+              " != admitted ", stats->admitted_objects, " + deferred ",
+              stats->deferred_objects, " + shed ", stats->shed_objects);
+
+  // Re-emit: carried objects grouped by their source frame first (in parked
+  // order), then the fresh skeletons with their admitted objects restored in
+  // arrival order. Fresh frames come last so their poses overwrite any
+  // stale parked pose in the edge's fleet registry.
+  std::sort(admitted.begin(), admitted.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.order < b.order;
+            });
+
+  std::vector<net::UploadFrame> out;
+  out.reserve(fresh.size() + admitted.size());
+  for (Candidate& c : admitted) {
+    if (c.age == 0) continue;  // fresh objects rejoin their skeleton below
+    if (out.empty() || out.back().vehicle != c.vehicle ||
+        out.back().upload_seq != c.upload_seq) {
+      net::UploadFrame f;
+      f.vehicle = c.vehicle;
+      f.pose = c.pose;
+      f.timestamp = c.timestamp;
+      f.upload_seq = c.upload_seq;
+      out.push_back(std::move(f));
+    }
+    out.back().objects.push_back(std::move(c.obj));
+  }
+  for (net::UploadFrame& f : fresh) {
+    for (Candidate& c : admitted) {
+      if (c.age == 0 && c.vehicle == f.vehicle &&
+          c.upload_seq == f.upload_seq) {
+        f.objects.push_back(std::move(c.obj));
+      }
+    }
+    out.push_back(std::move(f));
+  }
+
+  if (arrived_ctr_ != nullptr) arrived_ctr_->add(stats->arrived_objects);
+  if (admitted_ctr_ != nullptr) admitted_ctr_->add(stats->admitted_objects);
+  if (deferred_ctr_ != nullptr) deferred_ctr_->add(stats->deferred_objects);
+  if (shed_ctr_ != nullptr) shed_ctr_->add(stats->shed_objects);
+  return out;
+}
+
+}  // namespace erpd::edge

@@ -1,0 +1,137 @@
+#pragma once
+// Service-mode edge pipeline: SLO-aware admission control (DESIGN.md §17).
+//
+// The paper's edge is an always-on service, not a lockstep callee: uploads
+// arrive through bounded ingest queues and the decode+merge stage runs under
+// a per-frame deadline budget. This header holds the knobs (ServiceConfig,
+// default-off so the classic pipeline stays bit-identical) and the admission
+// controller that generalizes the ingest guard's point-budget shedding into
+// LATENCY-aware shedding: each upload's decode+merge cost is estimated from
+// its point/object counts, charged against a net::LatencyBudget, and work
+// that does not fit is deferred to the next frame (bounded parking lot) or
+// shed — lowest perception value first.
+//
+// Determinism: the controller runs single-threaded in upload order after the
+// ingest guard; every decision is a pure function of the admitted upload
+// sequence and the config, so results are bit-identical across worker counts
+// and hash seeds. Every object entering admission lands in exactly one fate
+// per frame — admitted, deferred, or shed — and a ContractViolation fires if
+// the partition ever leaks (ServiceStats identity, checked per frame).
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "obs/metrics.hpp"
+#include "sim/types.hpp"
+
+namespace erpd::edge {
+
+struct ServiceConfig {
+  /// Master switch for service mode (ingest queues in the runner + deadline
+  /// admission at the edge). Off by default: the lockstep pipeline is
+  /// untouched and every committed fingerprint stays byte-identical.
+  bool enabled{false};
+  /// Upload frames one ingest-queue lane buffers before refusing pushes
+  /// (per-producer bound; a refused frame is billed as backpressure).
+  std::size_t queue_lane_depth{4};
+  /// Upload frames drained from the ingest queue per pipeline frame across
+  /// all lanes; the overflow is dropped as backpressure. 0 = unbounded.
+  std::size_t queue_drain_max{0};
+  /// Per-frame decode+merge deadline budget in microseconds of estimated
+  /// cost. 0 disables latency shedding (admission passes everything).
+  std::uint64_t decode_merge_budget_us{0};
+  /// Cost model: estimated decode+merge nanoseconds per uploaded point and
+  /// fixed overhead per object (detection, association, bookkeeping).
+  std::uint64_t cost_per_point_ns{90};
+  std::uint64_t cost_per_object_ns{4000};
+  /// Objects the deferral parking lot holds across frames; beyond it a
+  /// denied object is shed instead of deferred.
+  std::size_t defer_capacity{16};
+  /// Frames an object may be deferred before it is shed as expired (its
+  /// payload is stale by then; coasting tracks cover the gap).
+  int max_defer_frames{3};
+
+  void validate() const;
+};
+
+/// Per-process_frame admission outcome, for FrameOutput/MethodMetrics.
+/// Event-count identity, checked per frame:
+///   arrived + carried == admitted + deferred + shed.
+/// Summed over a run this collapses to the fresh-object fate partition
+///   Σarrived == Σadmitted + Σshed + parked_residual
+/// because every deferral is carried into a later frame unless it is still
+/// parked when the run ends.
+struct ServiceStats {
+  /// Fresh objects entering admission this frame (post ingest guard).
+  std::size_t arrived_objects{0};
+  /// Parked objects re-considered this frame.
+  std::size_t carried_objects{0};
+  /// Objects granted decode+merge budget this frame (fresh or carried).
+  std::size_t admitted_objects{0};
+  /// Objects (newly) parked for a later frame.
+  std::size_t deferred_objects{0};
+  /// Objects dropped: budget denied with no parking room, or expired.
+  std::size_t shed_objects{0};
+  /// Estimated decode+merge cost admitted this frame (ns).
+  std::uint64_t admitted_cost_ns{0};
+};
+
+/// SLO-aware admission controller. Owned by EdgeServer; runs between the
+/// ingest guard and the merge stage when ServiceConfig::enabled.
+class AdmissionController {
+ public:
+  explicit AdmissionController(ServiceConfig cfg = {});
+
+  const ServiceConfig& config() const { return cfg_; }
+
+  /// Attach an observability registry (not owned; null detaches). Admission
+  /// decisions then bump service.* counters. Write-only, as everywhere.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
+  /// Estimated decode+merge cost of one upload object under the config's
+  /// cost model.
+  std::uint64_t cost_ns(const net::ObjectUpload& o) const {
+    return cfg_.cost_per_object_ns + cfg_.cost_per_point_ns * o.point_count;
+  }
+
+  /// Run deadline admission over one frame's (guard-admitted) uploads plus
+  /// the parking lot. Returns the admitted frames: re-admitted deferred
+  /// objects first (grouped by their source frame), then the fresh frames —
+  /// so fresh poses overwrite parked ones in the edge's fleet registry.
+  /// Fresh frame skeletons (validated pose, no surviving objects) are kept,
+  /// mirroring the ingest guard.
+  std::vector<net::UploadFrame> run(std::vector<net::UploadFrame> uploads,
+                                    double t, ServiceStats* stats);
+
+  /// Objects currently parked for a later frame.
+  std::size_t parked_count() const { return parked_.size(); }
+
+ private:
+  /// One deferred object, carrying enough of its source frame to be
+  /// re-emitted as an UploadFrame later.
+  struct Parked {
+    net::ObjectUpload obj;
+    sim::AgentId vehicle{sim::kInvalidAgent};
+    geom::Pose pose{};
+    double timestamp{0.0};
+    std::uint64_t upload_seq{0};
+    /// Completed deferrals when parked (0 on first park); the object ages by
+    /// one each frame it is carried, and is shed at max_defer_frames.
+    int age{0};
+    /// Monotone arrival tick, the final deterministic tie-break.
+    std::uint64_t order{0};
+  };
+
+  ServiceConfig cfg_;
+  std::vector<Parked> parked_;
+  std::uint64_t next_order_{0};
+  obs::Counter* arrived_ctr_{nullptr};
+  obs::Counter* admitted_ctr_{nullptr};
+  obs::Counter* deferred_ctr_{nullptr};
+  obs::Counter* shed_ctr_{nullptr};
+  obs::Counter* granted_ns_ctr_{nullptr};
+  obs::Counter* denied_ns_ctr_{nullptr};
+};
+
+}  // namespace erpd::edge

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/check.hpp"
+#include "core/mpsc_queue.hpp"
 #include "core/thread_pool.hpp"
 #include "obs/span.hpp"
 #include "pointcloud/encoding.hpp"
@@ -206,9 +207,11 @@ SystemRunner::SystemRunner(RunnerConfig cfg) : cfg_(cfg) {
   cfg_.wireless.validate();
   cfg_.fault.validate();
   cfg_.redundancy.validate();
+  cfg_.service.validate();
   // One source of truth: both ends of the link use the runner's knobs.
   cfg_.client.redundancy = cfg_.redundancy;
   cfg_.edge.redundancy = cfg_.redundancy;
+  cfg_.edge.service = cfg_.service;
   ERPD_REQUIRE(cfg_.duration > 0.0,
                "SystemRunner: duration must be > 0, got ", cfg_.duration);
   ERPD_REQUIRE(cfg_.frames_per_pipeline >= 1,
@@ -254,6 +257,7 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   double sum_lost = 0.0;
   double sum_capped = 0.0;
   double sum_suppressed = 0.0;
+  double sum_backpressure = 0.0;
   int pipeline_frames = 0;
 
   // Fault-injection bookkeeping. With an inactive FaultConfig the channel
@@ -278,6 +282,7 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   const int steps =
       static_cast<int>(std::llround(cfg_.duration / world.config().dt));
   const bool capped = cfg_.method == Method::kEmp || cfg_.method == Method::kOurs;
+  const bool service_mode = cfg_.service.enabled;
 
   for (int frame = 0; frame < steps; ++frame) {
     if (cfg_.method != Method::kSingle &&
@@ -321,9 +326,63 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       // hoisted out so N clients share one copy (world state does not change
       // within a frame).
       const std::vector<sim::AgentSnapshot> truth = world.snapshot();
-      uploads.resize(site_ids.size());
       std::vector<ClientFrameStats> stats(site_ids.size());
-      {
+      // Byte fates resolved during/just after the fan-out. In the classic
+      // path only offered/lost are used; service mode adds backpressure.
+      std::size_t offered_bytes = 0;
+      std::size_t lost_bytes = 0;
+      std::size_t backpressure_bytes = 0;
+      std::size_t backpressure_uploads = 0;
+      if (service_mode) {
+        // --- Service-mode ingest queue (DESIGN.md §17) ---
+        // The sensing fan-out is the producer side of a bounded MPSC lane
+        // queue (lane = fan-out slot, so producers never share a lane).
+        // Each worker decides channel loss with the same pure
+        // (seed, vehicle, frame) hash the serial path uses and pushes the
+        // surviving frame; the consumer drains in lane order under the
+        // drain cap after the pool joins. A refused push or drain overflow
+        // is the explicit backpressure fate — billed per frame like
+        // lost/capped, never silently dropped.
+        core::MpscLaneQueue<net::UploadFrame> queue(
+            site_ids.size(), cfg_.service.queue_lane_depth);
+        std::vector<std::size_t> slot_bytes(site_ids.size(), 0);
+        std::vector<std::uint8_t> slot_lost(site_ids.size(), 0);
+        std::vector<std::uint8_t> slot_refused(site_ids.size(), 0);
+        {
+          obs::StageSpan fanout_span(metrics, "stage.fanout");
+          core::parallel_for(site_ids.size(), 1, [&](std::size_t i) {
+            net::UploadFrame f =
+                clients.at(site_ids[i])
+                    .make_upload(world, &voronoi, i, &stats[i], &truth);
+            slot_bytes[i] = f.total_bytes();
+            if (faults && channel.uplink_lost(f.vehicle, frame, world.time())) {
+              slot_lost[i] = 1;
+              return;
+            }
+            if (!queue.try_push(i, std::move(f))) slot_refused[i] = 1;
+          });
+        }
+        upload_frames_offered += site_ids.size();
+        for (std::size_t i = 0; i < site_ids.size(); ++i) {
+          offered_bytes += slot_bytes[i];
+          if (slot_lost[i] != 0) {
+            ++upload_frames_lost;
+            lost_bytes += slot_bytes[i];
+          } else if (slot_refused[i] != 0) {
+            ++backpressure_uploads;
+            backpressure_bytes += slot_bytes[i];
+          }
+        }
+        uploads.reserve(site_ids.size());
+        queue.drain(
+            cfg_.service.queue_drain_max,
+            [&](net::UploadFrame&& f) { uploads.push_back(std::move(f)); },
+            [&](net::UploadFrame&& f) {
+              ++backpressure_uploads;
+              backpressure_bytes += f.total_bytes();
+            });
+      } else {
+        uploads.resize(site_ids.size());
         // stage.fanout: wall time of the whole parallel sensing+extraction
         // region. The per-vehicle scan and extraction costs are recorded
         // inside make_upload (stage.sense / stage.extract).
@@ -346,27 +405,31 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
 
       // --- Uplink channel faults ---
       // Byte accounting: every offered byte gets exactly one fate this
-      // frame — delivered to the edge, lost to channel faults, or shed by
-      // the shared cap. (Bytes the redundancy layer avoided sending were
-      // never offered; they are tracked separately as suppressed.)
-      std::size_t offered_bytes = 0;
-      for (const net::UploadFrame& f : uploads) offered_bytes += f.total_bytes();
-      upload_frames_offered += uploads.size();
-      std::size_t lost_bytes = 0;
-      if (faults) {
-        // Per-message Bernoulli loss + burst outages: a lost upload frame
-        // never reaches the edge (and never consumes cap budget).
-        std::vector<net::UploadFrame> kept;
-        kept.reserve(uploads.size());
-        for (net::UploadFrame& f : uploads) {
-          if (channel.uplink_lost(f.vehicle, frame, world.time())) {
-            ++upload_frames_lost;
-            lost_bytes += f.total_bytes();
-          } else {
-            kept.push_back(std::move(f));
-          }
+      // frame — delivered to the edge, lost to channel faults, dropped by
+      // ingest-queue backpressure (service mode only), or shed by the
+      // shared cap. (Bytes the redundancy layer avoided sending were never
+      // offered; they are tracked separately as suppressed.) Service mode
+      // already resolved offered/lost/backpressure inside the fan-out.
+      if (!service_mode) {
+        for (const net::UploadFrame& f : uploads) {
+          offered_bytes += f.total_bytes();
         }
-        uploads = std::move(kept);
+        upload_frames_offered += uploads.size();
+        if (faults) {
+          // Per-message Bernoulli loss + burst outages: a lost upload frame
+          // never reaches the edge (and never consumes cap budget).
+          std::vector<net::UploadFrame> kept;
+          kept.reserve(uploads.size());
+          for (net::UploadFrame& f : uploads) {
+            if (channel.uplink_lost(f.vehicle, frame, world.time())) {
+              ++upload_frames_lost;
+              lost_bytes += f.total_bytes();
+            } else {
+              kept.push_back(std::move(f));
+            }
+          }
+          uploads = std::move(kept);
+        }
       }
 
       // --- Uplink cap ---
@@ -383,11 +446,15 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       for (const net::UploadFrame& f : delivered) {
         delivered_pre_faults += f.total_bytes();
       }
-      ERPD_ENSURE(lost_bytes + delivered_pre_faults <= offered_bytes,
-                  "uplink byte partition: lost ", lost_bytes, " + delivered ",
-                  delivered_pre_faults, " exceeds offered ", offered_bytes);
-      const std::size_t capped_bytes =
-          offered_bytes - lost_bytes - delivered_pre_faults;
+      ERPD_ENSURE(
+          lost_bytes + backpressure_bytes + delivered_pre_faults <=
+              offered_bytes,
+          "uplink byte partition: lost ", lost_bytes, " + backpressure ",
+          backpressure_bytes, " + delivered ", delivered_pre_faults,
+          " exceeds offered ", offered_bytes);
+      const std::size_t capped_bytes = offered_bytes - lost_bytes -
+                                       backpressure_bytes -
+                                       delivered_pre_faults;
 
       // --- Payload corruption & Byzantine senders ---
       // Applied to what actually crosses the wire (post-cap). Mangled
@@ -408,12 +475,21 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       sum_lost += static_cast<double>(lost_bytes);
       sum_capped += static_cast<double>(capped_bytes);
       sum_suppressed += static_cast<double>(suppressed_bytes);
+      sum_backpressure += static_cast<double>(backpressure_bytes);
+      m.service_backpressure_uploads += static_cast<int>(backpressure_uploads);
       if (metrics != nullptr) {
         metrics->counter("uplink.offered_bytes").add(offered_bytes);
         metrics->counter("uplink.delivered_bytes").add(delivered_bytes);
         metrics->counter("uplink.lost_bytes").add(lost_bytes);
         metrics->counter("uplink.capped_bytes").add(capped_bytes);
         metrics->counter("uplink.suppressed_bytes").add(suppressed_bytes);
+        // Only touched in service mode so a default-config registry dump
+        // stays byte-identical to the pre-service pipeline.
+        if (service_mode) {
+          metrics->counter("uplink.backpressure_bytes").add(backpressure_bytes);
+          metrics->counter("service.backpressure_uploads")
+              .add(backpressure_uploads);
+        }
       }
 
       // --- Edge server ---
@@ -495,6 +571,12 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
       m.ingest_quarantined_vehicles +=
           static_cast<int>(fo.ingest.quarantine_events);
       m.ingest_shed_uploads += static_cast<int>(fo.ingest.shed_uploads);
+      m.service_arrived_objects += static_cast<int>(fo.service.arrived_objects);
+      m.service_admitted_objects +=
+          static_cast<int>(fo.service.admitted_objects);
+      m.service_deferred_objects +=
+          static_cast<int>(fo.service.deferred_objects);
+      m.service_shed_objects += static_cast<int>(fo.service.shed_objects);
 
       // --- Latency accounting ---
       const double t_upload =
@@ -601,6 +683,7 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
     m.uplink_suppressed_bytes_per_frame = sum_suppressed / n;
     m.uplink_capped_bytes_per_frame = sum_capped / n;
     m.uplink_lost_bytes_per_frame = sum_lost / n;
+    m.uplink_backpressure_bytes_per_frame = sum_backpressure / n;
     m.avg_objects_detected = sum_objects / n;
     m.e2e_latency = sum_e2e / n;
     m.extraction_seconds = sum_extract / n;
@@ -617,6 +700,21 @@ MethodMetrics SystemRunner::run(sim::Scenario& sc) {
   if (downlink_selected > 0) {
     m.downlink_deadline_miss_ratio = static_cast<double>(downlink_missed) /
                                      static_cast<double>(downlink_selected);
+  }
+  if (service_mode) {
+    m.service_parked_residual = static_cast<int>(server.service_parked());
+    // Run-level object-fate identity: every object that ever entered
+    // deadline admission was admitted, shed, or is still parked. (Per-frame
+    // the controller already ENSUREs arrived + carried == admitted +
+    // deferred + shed; summing and cancelling the carried/deferred ledger
+    // leaves this.)
+    ERPD_ENSURE(m.service_arrived_objects == m.service_admitted_objects +
+                                                 m.service_shed_objects +
+                                                 m.service_parked_residual,
+                "service object-fate identity leaked: arrived ",
+                m.service_arrived_objects, " != admitted ",
+                m.service_admitted_objects, " + shed ", m.service_shed_objects,
+                " + parked ", m.service_parked_residual);
   }
 
   if (metrics != nullptr) {

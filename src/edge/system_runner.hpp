@@ -72,6 +72,11 @@ struct RunnerConfig {
   /// source of truth into both ClientConfig and EdgeConfig so vehicle and
   /// edge always agree on thresholds. Off by default: bit-identical runs.
   RedundancyConfig redundancy{};
+  /// Service-mode edge pipeline (DESIGN.md §17): bounded MPSC ingest queues
+  /// between the sensing fan-out and the edge plus deadline-budget admission
+  /// inside the edge. The runner copies this single source of truth into
+  /// EdgeConfig. Off by default: bit-identical runs.
+  ServiceConfig service{};
   /// Optional observer of the edge's per-frame dissemination decisions (as
   /// selected, before channel faults). Used by the golden-scenario harness.
   std::function<void(int frame, const std::vector<net::Dissemination>&)>
@@ -171,6 +176,27 @@ struct MethodMetrics {
   /// dropped before delivery.
   int coverage_feedback_msgs{0};
   int coverage_feedback_lost_msgs{0};
+  // Service mode (DESIGN.md §17; all zero with the knob off). The uplink
+  // byte partition above gains one fate: offered == delivered-to-edge +
+  // lost + backpressure (ingest-queue refusals/drain overflow) + capped.
+  // Ingest-object fates obey Σarrived == Σadmitted + Σshed + parked
+  // residual over a run (deferrals re-arrive as carried work).
+  /// Offered uplink bytes dropped by ingest-queue backpressure, per frame.
+  double uplink_backpressure_bytes_per_frame{0.0};
+  /// Upload frames refused by a full queue lane or the drain cap.
+  int service_backpressure_uploads{0};
+  /// Objects entering deadline admission over the run.
+  int service_arrived_objects{0};
+  /// Objects granted decode+merge budget over the run.
+  int service_admitted_objects{0};
+  /// Deferral events (an object parked for a later frame; one object can
+  /// defer several times).
+  int service_deferred_objects{0};
+  /// Objects shed by deadline admission (budget denied, no parking room, or
+  /// deferral expired).
+  int service_shed_objects{0};
+  /// Objects still parked when the run ended.
+  int service_parked_residual{0};
 };
 
 class SystemRunner {

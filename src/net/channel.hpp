@@ -7,6 +7,7 @@
 // (Fig. 14): transfer delay = base latency + bytes / bandwidth.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/check.hpp"
@@ -108,6 +109,58 @@ class FrameBudget {
  private:
   std::size_t capacity_;
   std::size_t used_{0};
+  obs::Counter* granted_{nullptr};
+  obs::Counter* denied_{nullptr};
+};
+
+/// Per-frame simulated-latency budget with first-come-first-served granting
+/// — FrameBudget's grant discipline over integer nanoseconds instead of
+/// bytes. The edge's admission controller (DESIGN.md §17) charges each
+/// upload's estimated decode+merge cost against one of these; integer
+/// nanoseconds keep every grant decision exact and platform-independent.
+class LatencyBudget {
+ public:
+  explicit LatencyBudget(std::uint64_t capacity_ns) : capacity_(capacity_ns) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+
+  /// Attach cost counters fed by every grant decision: `granted` accumulates
+  /// admitted nanoseconds, `denied` the refused ones. Either may be null.
+  /// Observability only — recording never changes what is granted.
+  void attach(obs::Counter* granted, obs::Counter* denied) {
+    granted_ = granted;
+    denied_ = denied;
+  }
+
+  /// Nanoseconds still grantable this frame. Same underflow guard as
+  /// FrameBudget::remaining.
+  std::uint64_t remaining() const {
+    ERPD_DCHECK(used_ <= capacity_, "LatencyBudget: used ", used_,
+                " exceeds capacity ", capacity_);
+    return used_ <= capacity_ ? capacity_ - used_ : 0;
+  }
+
+  /// True if the whole cost fits; grants it atomically. A denied grant
+  /// leaves the budget untouched, so the freed headroom stays available for
+  /// later (cheaper) requests — the re-grant discipline FrameBudget uses.
+  bool try_grant(std::uint64_t cost_ns) {
+    if (cost_ns > remaining()) {
+      if (denied_ != nullptr) denied_->add(cost_ns);
+      return false;
+    }
+    used_ += cost_ns;
+    ERPD_ENSURE(used_ <= capacity_, "LatencyBudget: grant of ", cost_ns,
+                " ns overflowed capacity ", capacity_);
+    if (granted_ != nullptr) granted_->add(cost_ns);
+    return true;
+  }
+
+  void reset() { used_ = 0; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_{0};
   obs::Counter* granted_{nullptr};
   obs::Counter* denied_{nullptr};
 };

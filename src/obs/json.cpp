@@ -191,6 +191,7 @@ void append_registry(JsonWriter& w, const MetricsRegistry& registry) {
     w.kv("mean", h->mean());
     w.kv("p50", h->quantile(0.50));
     w.kv("p95", h->quantile(0.95));
+    w.kv("p99", h->quantile(0.99));
     w.key("buckets").begin_array();
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t c = h->bucket_count(i);

@@ -36,6 +36,8 @@ edge::RunnerConfig make_fault_runner(edge::Method method,
   rc.edge.ingest.enabled = fc.harden_ingest;
   rc.edge.ingest.point_budget_per_frame = fc.ingest_point_budget;
   rc.redundancy.enabled = fc.redundancy;
+  rc.service.enabled = fc.service;
+  rc.service.decode_merge_budget_us = fc.service_budget_us;
   return rc;
 }
 
@@ -189,6 +191,30 @@ std::vector<FaultCase> default_fault_matrix() {
     c.band = {1.0, 0.90, 3.0};
     matrix.push_back(c);
   }
+  // Service-mode case (DESIGN.md §17). Appended after the PR 9 row so
+  // existing index-based references keep their meaning.
+  {
+    // Point-budget overload during a burst outage, with the service pipeline
+    // on: the ingest guard sheds to its point budget, deadline admission
+    // sheds/defers what still blows the decode+merge budget, and the outage
+    // stresses coasting at the same time — the acceptance case for the
+    // admission fate partition under combined stress.
+    FaultCase c;
+    c.name = "overload-burst-outage";
+    c.fault.seed = 0xfa0a;
+    c.fault.outages.push_back({1.5, 1.5});
+    c.harden_ingest = true;
+    c.ingest_point_budget = 600;
+    c.service = true;
+    // Post-guard demand peaks near 600 pts * 90 ns + ~10 objs * 4 us
+    // = ~94 us/frame; 100 us keeps shedding/deferral engaged without
+    // starving the scripted-conflict tracks (60-80 us crashes the ego).
+    c.service_budget_us = 100;
+    c.staleness_decay = 0.10;
+    c.max_coast_frames = 8;
+    c.band = {1.0, 0.90, 3.0};
+    matrix.push_back(c);
+  }
   return matrix;
 }
 
@@ -274,6 +300,18 @@ std::uint64_t metrics_fingerprint(const edge::MethodMetrics& m) {
     h = fold(h, m.uplink_lost_bytes_per_frame);
     h = fold(h, static_cast<std::uint64_t>(m.coverage_feedback_msgs));
     h = fold(h, static_cast<std::uint64_t>(m.coverage_feedback_lost_msgs));
+  }
+  // Same pattern for the service layer (DESIGN.md §17): folded only when it
+  // engaged, so pre-service fingerprints (golden seed-42 included) stay
+  // valid.
+  if (m.service_arrived_objects != 0 || m.service_backpressure_uploads != 0) {
+    h = fold(h, static_cast<std::uint64_t>(m.service_arrived_objects));
+    h = fold(h, static_cast<std::uint64_t>(m.service_admitted_objects));
+    h = fold(h, static_cast<std::uint64_t>(m.service_deferred_objects));
+    h = fold(h, static_cast<std::uint64_t>(m.service_shed_objects));
+    h = fold(h, static_cast<std::uint64_t>(m.service_parked_residual));
+    h = fold(h, static_cast<std::uint64_t>(m.service_backpressure_uploads));
+    h = fold(h, m.uplink_backpressure_bytes_per_frame);
   }
   return h;
 }

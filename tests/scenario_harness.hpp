@@ -61,6 +61,11 @@ struct FaultCase {
   /// Enable the redundancy-aware uplink (coverage feedback + delta encoding,
   /// DESIGN.md §16) for this case.
   bool redundancy{false};
+  /// Enable the service-mode edge pipeline (MPSC ingest queue + deadline
+  /// admission, DESIGN.md §17) with `service_budget_us` as the per-frame
+  /// decode+merge budget (0 = no latency shedding).
+  bool service{false};
+  std::uint64_t service_budget_us{0};
   ToleranceBand band{};
 };
 

@@ -179,6 +179,16 @@ void expect_identical(const edge::MethodMetrics& a,
   EXPECT_EQ(a.coverage_feedback_msgs, b.coverage_feedback_msgs) << threads;
   EXPECT_EQ(a.coverage_feedback_lost_msgs, b.coverage_feedback_lost_msgs)
       << threads;
+  EXPECT_EQ(a.uplink_backpressure_bytes_per_frame,
+            b.uplink_backpressure_bytes_per_frame)
+      << threads;
+  EXPECT_EQ(a.service_backpressure_uploads, b.service_backpressure_uploads)
+      << threads;
+  EXPECT_EQ(a.service_arrived_objects, b.service_arrived_objects) << threads;
+  EXPECT_EQ(a.service_admitted_objects, b.service_admitted_objects) << threads;
+  EXPECT_EQ(a.service_deferred_objects, b.service_deferred_objects) << threads;
+  EXPECT_EQ(a.service_shed_objects, b.service_shed_objects) << threads;
+  EXPECT_EQ(a.service_parked_residual, b.service_parked_residual) << threads;
 }
 
 TEST(Determinism, SystemRunnerOursIdenticalAcrossThreadCounts) {
@@ -290,6 +300,37 @@ TEST(Determinism, FingerprintImmuneToHashSeedShuffle) {
     EXPECT_EQ(seed42_fingerprint(), ref)
         << "hash-order dependence leaked into simulated output (shuffle seed "
         << shuffle << ")";
+  }
+}
+
+// Service mode runs the MPSC queue + deadline admission path, whose
+// defer/shed decisions must also be pure functions of the upload stream —
+// never of hash-bucket layout or worker schedule. Same attack, service on.
+TEST(Determinism, ServiceModeFingerprintImmuneToHashSeedShuffle) {
+  PoolGuard pool_guard;
+  HashSeedGuard hash_guard;
+  core::set_thread_count(2);
+
+  const harness::FaultCase fc = [] {
+    for (const harness::FaultCase& c : harness::default_fault_matrix()) {
+      if (c.name == "overload-burst-outage") return c;
+    }
+    ADD_FAILURE() << "overload-burst-outage missing from the fault matrix";
+    return harness::FaultCase{};
+  }();
+
+  core::set_det_hash_seed(0);
+  const edge::MethodMetrics ref = run_fault_case(fc, 2);
+  ASSERT_GT(ref.service_arrived_objects, 0);  // the service path engaged
+  const std::uint64_t ref_fp = harness::metrics_fingerprint(ref);
+
+  for (const std::uint64_t shuffle :
+       {std::uint64_t{0x9e3779b97f4a7c15}, std::uint64_t{1},
+        std::uint64_t{0xdeadbeefcafef00d}}) {
+    core::set_det_hash_seed(core::mix64(shuffle));
+    EXPECT_EQ(harness::metrics_fingerprint(run_fault_case(fc, 2)), ref_fp)
+        << "service-mode hash-order dependence (shuffle seed " << shuffle
+        << ")";
   }
 }
 

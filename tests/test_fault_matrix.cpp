@@ -166,5 +166,33 @@ TEST_F(FaultMatrix, OverloadCaseShedsWithoutLosingSafety) {
             find("no-faults").metrics.avg_objects_detected);
 }
 
+TEST_F(FaultMatrix, OverloadBurstOutageHoldsTheServiceFatePartition) {
+  const edge::MethodMetrics& m = find("overload-burst-outage").metrics;
+  // Combined stress actually engaged on all three axes: the outage lost
+  // upload frames, the point budget shed objects at the guard, and the
+  // decode+merge deadline shed or deferred work at admission.
+  EXPECT_GT(m.uplink_loss_ratio, 0.0);
+  EXPECT_GT(m.ingest_shed_uploads, 0);
+  EXPECT_GT(m.service_arrived_objects, 0);
+  EXPECT_GT(m.service_deferred_objects + m.service_shed_objects, 0);
+  // Exactly-once object fates: everything that entered deadline admission
+  // was admitted, shed, or is still parked at run end. (The per-frame
+  // partition is ENSURE'd inside the controller; this pins the run-level
+  // collapse of the same identity.)
+  EXPECT_EQ(m.service_arrived_objects,
+            m.service_admitted_objects + m.service_shed_objects +
+                m.service_parked_residual);
+  // Byte fates stay a partition too, with the backpressure term included.
+  EXPECT_LE(m.uplink_lost_bytes_per_frame + m.uplink_capped_bytes_per_frame +
+                m.uplink_backpressure_bytes_per_frame,
+            m.uplink_offered_bytes_per_frame + 1e-9);
+  // Degradation stays graceful: detection thinner than the clean run but
+  // alive, and the band check above enforces the PR 3 safety floors.
+  EXPECT_GT(m.avg_objects_detected, 0.0);
+  EXPECT_LT(m.avg_objects_detected,
+            find("no-faults").metrics.avg_objects_detected);
+  EXPECT_TRUE(m.ego_safe);
+}
+
 }  // namespace
 }  // namespace erpd

@@ -216,6 +216,59 @@ TEST(IngestGuard, StrikesTriggerQuarantineWithExponentialBackoff) {
   EXPECT_FALSE(guard.quarantined(8, t2 + 1.0));
 }
 
+// Regression: the backoff ladder must double exactly quarantine_base ->
+// quarantine_max and then saturate — a perpetual offender sits at the max
+// window forever, never beyond it, no matter how many quarantines accumulate.
+TEST(IngestGuard, QuarantineBackoffSaturatesAtMax) {
+  IngestConfig cfg = enabled_config();
+  cfg.strike_threshold = 1;  // quarantine on every offense
+  cfg.quarantine_base = 1.0;
+  cfg.quarantine_max = 4.0;
+  IngestGuard guard(cfg);
+  IngestStats stats;
+
+  // Expected windows: 1, 2, 4, then 4 forever (saturated).
+  const double expected[] = {1.0, 2.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0};
+  double t = 0.1;
+  for (const double window : expected) {
+    guard.admit({make_frame(7, t, {kNan, 0.0})}, t, &stats);
+    EXPECT_TRUE(guard.quarantined(7, t + window - 0.01)) << "window " << window;
+    EXPECT_FALSE(guard.quarantined(7, t + window)) << "window " << window;
+    t += window + 0.1;  // re-offend just after readmission
+  }
+  EXPECT_EQ(stats.quarantine_events, std::size(expected));
+}
+
+// Regression: a clean frame admitted after the quarantine window expires
+// resets the ladder, so the next quarantine starts at quarantine_base again
+// (the readmission contract documented in ingest_guard.hpp).
+TEST(IngestGuard, CleanReadmissionResetsBackoff) {
+  IngestConfig cfg = enabled_config();
+  cfg.strike_threshold = 1;
+  cfg.quarantine_base = 1.0;
+  cfg.quarantine_max = 4.0;
+  IngestGuard guard(cfg);
+  IngestStats stats;
+
+  // Climb the ladder to a 2 s window.
+  guard.admit({make_frame(7, 0.1, {kNan, 0.0})}, 0.1, &stats);  // 1 s
+  guard.admit({make_frame(7, 1.2, {kNan, 0.0})}, 1.2, &stats);  // 2 s
+  EXPECT_FALSE(guard.quarantined(7, 3.2));
+
+  // One clean frame after readmission wipes the reputation...
+  IngestStats clean_stats;
+  const auto admitted =
+      guard.admit({make_frame(7, 3.3, {0.0, 0.0})}, 3.3, &clean_stats);
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(clean_stats.quarantine_dropped, 0u);
+
+  // ...so the next offense starts over at the 1 s base window, not the 4 s
+  // the ladder would otherwise have reached.
+  guard.admit({make_frame(7, 3.4, {kNan, 0.0})}, 3.4, &stats);
+  EXPECT_TRUE(guard.quarantined(7, 4.39));
+  EXPECT_FALSE(guard.quarantined(7, 4.4));
+}
+
 TEST(IngestGuard, CleanFramesDecayStrikes) {
   IngestConfig cfg = enabled_config();
   cfg.strike_threshold = 3;

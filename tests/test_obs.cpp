@@ -191,6 +191,13 @@ TEST(Schema, MethodMetricsKeysMatchGolden) {
       "uplink_lost_bytes_per_frame",
       "coverage_feedback_msgs",
       "coverage_feedback_lost_msgs",
+      "uplink_backpressure_bytes_per_frame",
+      "service_backpressure_uploads",
+      "service_arrived_objects",
+      "service_admitted_objects",
+      "service_deferred_objects",
+      "service_shed_objects",
+      "service_parked_residual",
   };
   EXPECT_EQ(edge::method_metrics_keys(), golden);
 }

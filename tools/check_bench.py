@@ -20,10 +20,110 @@ a tripwire for silent codec/pipeline changes, independent of hardware speed.
 Baselines predating the fingerprint are skipped for back-compat.
 
 Usage: check_bench.py <fresh.json> <baseline.json>
+       check_bench.py --soak <soak_report.json>
+
+The --soak mode validates a SOAK report from bench/soak (DESIGN.md §17):
+zero contract violations, worker-sweep bit-identity, flat pool gauges and
+resident memory across the run, and a stage.e2e p99 that stays under an
+absolute ceiling and within a front-vs-back-half stability ratio. The gate
+thresholds are re-derived here from the raw per-episode series, so the
+binary's own verdict cannot silently diverge from what CI enforces.
 """
 
 import json
 import sys
+
+# --soak gate thresholds. stage.e2e folds host-measured module times, so
+# the bands are generous against machine noise while still catching
+# monotone degradation (a real leak or quadratic blowup compounds across
+# dozens-to-hundreds of episodes).
+SOAK_P99_CEILING_MS = 2000.0  # absolute: 2 s p99 means the edge is drowning
+SOAK_P99_STABILITY_RATIO = 3.0  # back-half mean vs front-half mean
+SOAK_RSS_GROWTH_RATIO = 1.15  # flat-memory band
+SOAK_POOL_GROWTH_RATIO = 1.5  # pool job-count flatness band
+
+
+def check_soak(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    failures = []
+    if doc.get("bench") != "soak":
+        return [f"{path}: not a soak report (bench={doc.get('bench')!r})"]
+
+    violations = doc.get("violations", -1)
+    print(f"violations {violations} " + ("ok" if violations == 0 else "FAIL"))
+    if violations != 0:
+        failures.append(f"{violations} contract violations during the soak")
+
+    if not doc.get("worker_sweep_ok", False):
+        failures.append(
+            "worker sweep diverged - behavior is not bit-identical across"
+            " 1/2/8 workers + det-hash shuffle"
+        )
+    sweep = doc.get("worker_sweep", {})
+    print(f"worker sweep {sweep} "
+          + ("ok" if doc.get("worker_sweep_ok") else "FAIL"))
+
+    episodes = doc.get("episodes_detail", [])
+    if not episodes:
+        return failures + ["no per-episode series in the report"]
+
+    def series(key):
+        return [float(e[key]) for e in episodes]
+
+    def halves(values):
+        half = len(values) // 2
+        front = values[:half] or [0.0]
+        back = values[half:] or [0.0]
+        return sum(front) / len(front), sum(back) / len(back)
+
+    p99 = series("e2e_p99_ms")
+    p99_front, p99_back = halves(p99)
+    p99_max = max(p99)
+    if p99_max > SOAK_P99_CEILING_MS:
+        failures.append(
+            f"stage.e2e p99 peaked at {p99_max:.1f} ms >"
+            f" {SOAK_P99_CEILING_MS:.0f} ms ceiling"
+        )
+    if p99_front > 0.0 and p99_back > p99_front * SOAK_P99_STABILITY_RATIO:
+        failures.append(
+            f"stage.e2e p99 degraded {p99_front:.1f} -> {p99_back:.1f} ms"
+            f" (> {SOAK_P99_STABILITY_RATIO:.1f}x)"
+        )
+    print(
+        f"e2e p99 front {p99_front:.1f} ms back {p99_back:.1f} ms"
+        f" max {p99_max:.1f} ms "
+        + ("ok" if p99_max <= SOAK_P99_CEILING_MS else "FAIL")
+    )
+
+    rss = series("rss_kb")
+    rss_front, rss_back = halves(rss)
+    # rss_kb is 0 where /proc is unavailable; skip the gate there.
+    if rss_front > 0.0 and rss_back > rss_front * SOAK_RSS_GROWTH_RATIO:
+        failures.append(
+            f"resident memory grew {rss_front:.0f} -> {rss_back:.0f} kB"
+            f" (> {SOAK_RSS_GROWTH_RATIO:.2f}x) - pool gauges say leak"
+        )
+    print(f"rss front {rss_front:.0f} kB back {rss_back:.0f} kB "
+          + ("ok" if rss_front <= 0.0
+             or rss_back <= rss_front * SOAK_RSS_GROWTH_RATIO else "FAIL"))
+
+    jobs = series("pool_jobs")
+    jobs_front, jobs_back = halves(jobs)
+    if jobs_front > 0.0 and jobs_back > jobs_front * SOAK_POOL_GROWTH_RATIO:
+        failures.append(
+            f"pool jobs per episode grew {jobs_front:.0f} ->"
+            f" {jobs_back:.0f} (> {SOAK_POOL_GROWTH_RATIO:.1f}x)"
+        )
+    print(f"pool jobs front {jobs_front:.0f} back {jobs_back:.0f} "
+          + ("ok" if jobs_front <= 0.0
+             or jobs_back <= jobs_front * SOAK_POOL_GROWTH_RATIO else "FAIL"))
+
+    if any(e.get("violated", False) for e in episodes):
+        failures.append("an episode carries violated=true")
+
+    return failures
 
 # Absolute sensing_points_per_sec floors the *committed baseline* must meet
 # (quick-mode artifacts from the 1-CPU bench container). Ratcheted by the
@@ -43,6 +143,11 @@ def methods_by_name(doc):
 
 
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--soak":
+        failures = check_soak(argv[2])
+        for msg in failures:
+            print(f"check_bench: FAIL - {msg}", file=sys.stderr)
+        return 1 if failures else 0
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
